@@ -1,0 +1,137 @@
+// Command sharoes-bench regenerates the tables and figures of the paper's
+// evaluation (§V) over the simulated WAN testbed.
+//
+// Usage:
+//
+//	sharoes-bench -fig all                 # everything, test-sized
+//	sharoes-bench -fig 9 -scale 1 -profile dsl   # full paper fidelity
+//	sharoes-bench -fig 10 -sweep 0,10,20,40,60,80,100
+//
+// Figures: 9 (Create-and-List), 10 (Postmark vs cache), 11 (Andrew per
+// phase), 12 (Andrew cumulative), 13 (operation cost breakdown),
+// scheme (Scheme-1 vs Scheme-2 storage study).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/sharoes/sharoes/internal/netsim"
+	"github.com/sharoes/sharoes/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sharoes-bench: ")
+	fig := flag.String("fig", "all", "figure to regenerate: 9, 10, 11, 12, 13, scheme, all")
+	scale := flag.Int("scale", 10, "divide paper workload sizes by this factor (1 = full paper scale)")
+	profile := flag.String("profile", "calibrated", "network profile: calibrated, dsl, lan")
+	scheme := flag.String("scheme", "scheme2", "Sharoes layout scheme")
+	sweep := flag.String("sweep", "0,20,40,60,80,100", "cache percentages for figure 10")
+	reps := flag.Int("reps", 1, "average each measurement over this many runs (the paper used 10)")
+	flag.Parse()
+
+	var prof netsim.Profile
+	switch *profile {
+	case "calibrated":
+		prof = workload.CalibratedProfile
+	case "dsl":
+		prof = netsim.DSL
+	case "lan":
+		prof = netsim.LAN
+	default:
+		log.Fatalf("unknown profile %q", *profile)
+	}
+	opts := workload.FigureOptions{
+		Options: workload.Options{Profile: prof, CacheBytes: -1, Scheme: *scheme},
+		Scale:   *scale,
+		Reps:    *reps,
+	}
+	fmt.Printf("sharoes-bench: profile=%s scale=1/%d scheme=%s\n\n", *profile, *scale, *scheme)
+
+	run := func(name string, f func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		start := time.Now()
+		if err := f(); err != nil {
+			log.Fatalf("figure %s: %v", name, err)
+		}
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("9", func() error {
+		rows, err := workload.RunFig9(opts)
+		if err != nil {
+			return err
+		}
+		workload.PrintFig9(os.Stdout, rows)
+		return nil
+	})
+	run("10", func() error {
+		pcts, err := parseSweep(*sweep)
+		if err != nil {
+			return err
+		}
+		rows, err := workload.RunFig10(opts, pcts)
+		if err != nil {
+			return err
+		}
+		workload.PrintFig10(os.Stdout, rows)
+		return nil
+	})
+	var andrewRows []workload.Fig11Row
+	run("11", func() error {
+		var err error
+		andrewRows, err = workload.RunFig11(opts)
+		if err != nil {
+			return err
+		}
+		workload.PrintFig11(os.Stdout, andrewRows)
+		return nil
+	})
+	run("12", func() error {
+		if andrewRows == nil {
+			var err error
+			andrewRows, err = workload.RunFig11(opts)
+			if err != nil {
+				return err
+			}
+		}
+		workload.PrintFig12(os.Stdout, andrewRows)
+		return nil
+	})
+	run("13", func() error {
+		res, err := workload.RunFig13(opts)
+		if err != nil {
+			return err
+		}
+		workload.PrintFig13(os.Stdout, res)
+		return nil
+	})
+	run("scheme", func() error {
+		rows, err := workload.RunScheme(workload.PaperScheme)
+		if err != nil {
+			return err
+		}
+		workload.PrintScheme(os.Stdout, rows)
+		return nil
+	})
+}
+
+func parseSweep(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 || n > 100 {
+			return nil, fmt.Errorf("bad cache percentage %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,190 @@
+// Command sharoes-migrate is the Sharoes migration tool (paper §IV): it
+// creates the cryptographic infrastructure and transitions local storage
+// to the outsourced model.
+//
+// Set up an enterprise (generates user keys and the public registry):
+//
+//	sharoes-migrate setup -keydir ./keys -users alice,bob,carol \
+//	    -groups eng=alice,bob
+//
+// Migrate a local directory to an SSP:
+//
+//	sharoes-migrate run -keydir ./keys -ssp localhost:7070 \
+//	    -fsid corp -owner alice -group eng -src /path/to/data
+//
+// Omit -src to bootstrap an empty filesystem.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/sharoes/sharoes/internal/keys"
+	"github.com/sharoes/sharoes/internal/layout"
+	"github.com/sharoes/sharoes/internal/migrate"
+	"github.com/sharoes/sharoes/internal/ssp"
+	"github.com/sharoes/sharoes/internal/types"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sharoes-migrate: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "setup":
+		setup(os.Args[2:])
+	case "run":
+		run(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sharoes-migrate setup|run [flags]")
+	os.Exit(2)
+}
+
+func setup(args []string) {
+	fs := flag.NewFlagSet("setup", flag.ExitOnError)
+	keydir := fs.String("keydir", "./keys", "directory for key material")
+	users := fs.String("users", "", "comma-separated user IDs")
+	groups := fs.String("groups", "", "groups as name=member,member;name=...")
+	fs.Parse(args)
+
+	if *users == "" {
+		log.Fatal("setup: -users is required")
+	}
+	if err := os.MkdirAll(*keydir, 0o700); err != nil {
+		log.Fatal(err)
+	}
+	reg := keys.NewRegistry()
+	for _, id := range strings.Split(*users, ",") {
+		id = strings.TrimSpace(id)
+		u, err := keys.NewUser(types.UserID(id))
+		if err != nil {
+			log.Fatal(err)
+		}
+		reg.AddUser(u.ID, u.Public())
+		path := filepath.Join(*keydir, id+".key")
+		if err := u.Save(path); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("generated %s\n", path)
+	}
+	if *groups != "" {
+		for _, spec := range strings.Split(*groups, ";") {
+			name, members, ok := strings.Cut(spec, "=")
+			if !ok {
+				log.Fatalf("setup: bad group spec %q", spec)
+			}
+			g, err := keys.NewGroup(types.GroupID(name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			reg.AddGroup(g.ID, g.Priv.Public())
+			for _, m := range strings.Split(members, ",") {
+				reg.AddMember(g.ID, types.UserID(strings.TrimSpace(m)))
+			}
+			path := filepath.Join(*keydir, "group-"+name+".key")
+			if err := (&keys.User{ID: types.UserID("group:" + name), Priv: g.Priv}).Save(path); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("generated %s (members: %s)\n", path, members)
+		}
+	}
+	regPath := filepath.Join(*keydir, "registry.json")
+	if err := reg.Save(regPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", regPath)
+}
+
+func run(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	keydir := fs.String("keydir", "./keys", "directory with key material")
+	sspAddr := fs.String("ssp", "", "SSP address (host:port)")
+	storeDir := fs.String("storedir", "", "local disk store instead of a remote SSP")
+	fsid := fs.String("fsid", "corp", "filesystem identifier")
+	owner := fs.String("owner", "", "root owner user ID")
+	group := fs.String("group", "", "root group ID")
+	src := fs.String("src", "", "local directory to migrate (empty: bootstrap only)")
+	scheme := fs.String("scheme", "scheme2", "metadata layout: scheme1 or scheme2")
+	fs.Parse(args)
+
+	if *owner == "" {
+		log.Fatal("run: -owner is required")
+	}
+	reg, err := keys.LoadRegistry(filepath.Join(*keydir, "registry.json"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var store ssp.BlobStore
+	switch {
+	case *sspAddr != "":
+		client, err := ssp.Dial(func() (net.Conn, error) { return net.Dial("tcp", *sspAddr) }, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer client.Close()
+		store = client
+	case *storeDir != "":
+		ds, err := ssp.NewDiskStore(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store = ds
+	default:
+		log.Fatal("run: one of -ssp or -storedir is required")
+	}
+
+	var eng layout.Engine = layout.NewScheme2(reg)
+	if *scheme == "scheme1" {
+		eng = layout.NewScheme1(reg)
+	}
+	opts := migrate.Options{
+		Store: store, Registry: reg, Layout: eng, FSID: *fsid,
+		RootOwner: types.UserID(*owner), RootGroup: types.GroupID(*group),
+	}
+
+	// Publish group keys in-band so members obtain them at mount.
+	for _, gid := range reg.Groups() {
+		path := filepath.Join(*keydir, "group-"+string(gid)+".key")
+		gu, err := keys.LoadUser(path)
+		if err != nil {
+			log.Printf("warning: no key file for group %q (%v); skipping in-band publication", gid, err)
+			continue
+		}
+		g := &keys.Group{ID: gid, Priv: gu.Priv}
+		if err := keys.PublishGroupKey(store, reg, g); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("published group key for %q\n", gid)
+	}
+
+	if *src == "" {
+		if err := migrate.Bootstrap(opts); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("bootstrapped empty filesystem %q (%s)\n", *fsid, eng.Name())
+		return
+	}
+	node, err := migrate.FromLocalDir(*src, types.UserID(*owner), types.GroupID(*group))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := migrate.MigrateTree(opts, node)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("migrated %q → %q (%s): %d dirs, %d files, %d bytes, %d objects, %d split points\n",
+		*src, *fsid, eng.Name(), st.Dirs, st.Files, st.Bytes, st.Objects, st.SplitPoints)
+}

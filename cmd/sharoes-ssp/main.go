@@ -1,0 +1,60 @@
+// Command sharoes-ssp runs the SSP data-serving tool: the untrusted
+// storage-provider side of Sharoes. It stores opaque encrypted blobs and
+// serves them over TCP; it performs no computation on the data and holds
+// no keys (paper §IV).
+//
+// Usage:
+//
+//	sharoes-ssp [-addr :7070] [-store mem|disk] [-dir ./ssp-data]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/sharoes/sharoes/internal/ssp"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	storeKind := flag.String("store", "mem", "storage backend: mem or disk")
+	dir := flag.String("dir", "./ssp-data", "data directory for -store disk")
+	flag.Parse()
+
+	var store ssp.BlobStore
+	switch *storeKind {
+	case "mem":
+		store = ssp.NewMemStore()
+	case "disk":
+		ds, err := ssp.NewDiskStore(*dir)
+		if err != nil {
+			log.Fatalf("sharoes-ssp: %v", err)
+		}
+		store = ds
+	default:
+		log.Fatalf("sharoes-ssp: unknown store %q", *storeKind)
+	}
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("sharoes-ssp: listen: %v", err)
+	}
+	server := ssp.NewServer(store, log.New(os.Stderr, "ssp: ", log.LstdFlags))
+	fmt.Printf("sharoes-ssp: serving %s store on %s\n", *storeKind, lis.Addr())
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-done
+		fmt.Println("\nsharoes-ssp: shutting down")
+		server.Close()
+	}()
+	if err := server.Serve(lis); err != nil {
+		log.Fatalf("sharoes-ssp: %v", err)
+	}
+}

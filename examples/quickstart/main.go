@@ -1,0 +1,80 @@
+// Quickstart: a complete Sharoes deployment in one process — an SSP
+// server, a simulated WAN, one enterprise user, and a mounted filesystem.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/sharoes/sharoes"
+)
+
+func main() {
+	// 1. The enterprise side: one user with one private key — the only
+	//    key anyone ever has to manage.
+	alice, err := sharoes.NewUser("alice")
+	check(err)
+	reg := sharoes.NewRegistry()
+	reg.AddUser("alice", alice.Public())
+
+	// 2. The SSP side: an untrusted blob server. It stores ciphertext
+	//    and never sees a key. Here it runs in-process behind a
+	//    simulated DSL link; in production it is `sharoes-ssp` on a
+	//    remote site.
+	store := sharoes.NewMemStore()
+	server := sharoes.NewServer(store)
+	lis := sharoes.ListenSim(sharoes.ProfileDSL)
+	go server.Serve(lis)
+	defer server.Close()
+
+	// 3. Transition: create the filesystem. The migration tool writes
+	//    the namespace root and seals a superblock for every user.
+	layout := sharoes.NewScheme2(reg)
+	check(sharoes.Bootstrap(sharoes.MigrateOptions{
+		Store: store, Registry: reg, Layout: layout,
+		FSID: "corp", RootOwner: "alice",
+	}))
+
+	// 4. Mount. One private-key operation unseals the superblock; every
+	//    other key arrives in-band as the filesystem is walked.
+	var rec sharoes.Recorder
+	remote, err := sharoes.DialSSP(lis.Dial, &rec)
+	check(err)
+	fs, err := sharoes.Mount(sharoes.MountConfig{
+		Store: remote, User: alice, Registry: reg,
+		Layout: layout, FSID: "corp", Recorder: &rec, CacheBytes: -1,
+	})
+	check(err)
+	defer fs.Close()
+
+	// 5. Use it like a filesystem.
+	check(fs.Mkdir("/docs", 0o755))
+	check(fs.WriteFile("/docs/plan.txt", []byte("ship the prototype\n"), 0o644))
+	data, err := fs.ReadFile("/docs/plan.txt")
+	check(err)
+	fmt.Printf("read back: %s", data)
+
+	names, err := fs.ReadDir("/docs")
+	check(err)
+	fmt.Printf("ls /docs: %v\n", names)
+
+	info, err := fs.Stat("/docs/plan.txt")
+	check(err)
+	fmt.Printf("stat: %s %s:%s %d bytes\n", info.Perm, info.Owner, info.Group, info.Size)
+
+	// 6. What did that cost, and what does the SSP actually hold?
+	s := rec.Snapshot()
+	fmt.Printf("session costs: network=%v crypto=%v (%d ops, %d B out, %d B in)\n",
+		s.Network.Round(1e6), s.Crypto.Round(1e6), s.Ops, s.BytesOut, s.BytesIn)
+	st, err := store.Stats()
+	check(err)
+	fmt.Printf("ssp holds %d opaque blobs, %d bytes — all ciphertext\n", st.Objects, st.Bytes)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

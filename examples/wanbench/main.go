@@ -1,0 +1,44 @@
+// Wanbench: a miniature rendition of the paper's Figure 9 — the same
+// Create-and-List workload on SHAROES and on two baselines, over the same
+// simulated DSL link, with the NETWORK/CRYPTO cost decomposition printed
+// per phase. Run the full evaluation with cmd/sharoes-bench.
+//
+//	go run ./examples/wanbench
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/sharoes/sharoes/internal/workload"
+)
+
+func main() {
+	opts := workload.FigureOptions{
+		Options: workload.Options{Profile: workload.CalibratedProfile, CacheBytes: -1},
+		Scale:   25, // 20 files in 1 directory — a taste, not the paper run
+	}
+	cfg := workload.PaperCreateList.Scaled(opts.Scale)
+	fmt.Printf("Create-and-List, %d files in %d dir(s), link %s\n\n",
+		cfg.Files, cfg.Dirs, opts.Profile.Name)
+
+	for _, kind := range []workload.SystemKind{
+		workload.SysNoEncMDD, workload.SysSharoes, workload.SysPublic,
+	} {
+		sys, err := workload.Build(kind, opts.Options)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := workload.CreateList(sys.FS, sys.Rec, cfg)
+		sys.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s create %8v  (network %v, crypto %v)\n",
+			kind, res.Create.Round(1e6), res.CreateStats.Network.Round(1e6), res.CreateStats.Crypto.Round(1e6))
+		fmt.Printf("%-12s list   %8v  (network %v, crypto %v)\n\n",
+			kind, res.List.Round(1e6), res.ListStats.Network.Round(1e6), res.ListStats.Crypto.Round(1e6))
+	}
+	fmt.Fprintln(os.Stdout, "note how PUBLIC's list phase is crypto-bound while SHAROES stays network-bound")
+}

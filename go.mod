@@ -1,0 +1,3 @@
+module github.com/sharoes/sharoes
+
+go 1.22

@@ -1,0 +1,25 @@
+package baseline
+
+import (
+	"fmt"
+
+	"github.com/sharoes/sharoes/internal/types"
+)
+
+// The comparison systems provide no per-user grant mechanism — one of the
+// expressiveness gaps the paper holds against them (§VI: "the access
+// control semantics only provide read and write permissions at a file
+// level"). The methods exist to satisfy vfs.FS and decline honestly.
+
+// SetACL implements vfs.FS by declining.
+func (s *Session) SetACL(string, types.UserID, types.Triplet) error {
+	return fmt.Errorf("%w: %v has no ACL support", types.ErrUnsupportedPerm, s.mode)
+}
+
+// RemoveACL implements vfs.FS by declining.
+func (s *Session) RemoveACL(string, types.UserID) error {
+	return fmt.Errorf("%w: %v has no ACL support", types.ErrUnsupportedPerm, s.mode)
+}
+
+// GetACL implements vfs.FS; baselines have no grants.
+func (s *Session) GetACL(string) ([]types.ACLEntry, error) { return nil, nil }

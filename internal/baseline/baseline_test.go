@@ -1,0 +1,331 @@
+package baseline
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/sharoes/sharoes/internal/keys"
+	"github.com/sharoes/sharoes/internal/ssp"
+	"github.com/sharoes/sharoes/internal/stats"
+	"github.com/sharoes/sharoes/internal/types"
+	"github.com/sharoes/sharoes/internal/wire"
+)
+
+var (
+	bOnce sync.Once
+	bReg  *keys.Registry
+	bUser map[types.UserID]*keys.User
+)
+
+func bFixture(t testing.TB) {
+	t.Helper()
+	bOnce.Do(func() {
+		bReg = keys.NewRegistry()
+		bUser = make(map[types.UserID]*keys.User)
+		for _, id := range []types.UserID{"alice", "bob", "carol"} {
+			u, err := keys.NewUser(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bUser[id] = u
+			bReg.AddUser(id, u.Public())
+		}
+		g, err := keys.NewGroup("eng")
+		if err != nil {
+			t.Fatal(err)
+		}
+		bReg.AddGroup("eng", g.Priv.Public())
+		bReg.AddMember("eng", "alice")
+		bReg.AddMember("eng", "bob")
+	})
+}
+
+func allModes() []Mode { return []Mode{NoEncMDD, NoEncMD, Public, PubOpt} }
+
+func modeWorld(t *testing.T, mode Mode) (ssp.BlobStore, func(types.UserID) *Session) {
+	t.Helper()
+	bFixture(t)
+	store := ssp.NewMemStore()
+	if err := Bootstrap(store, mode, "bfs", bReg, "alice", "eng", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	mount := func(id types.UserID) *Session {
+		s, err := Mount(Config{Store: store, Mode: mode, User: bUser[id], Registry: bReg,
+			FSID: "bfs", CacheBytes: -1, BlockSize: 64})
+		if err != nil {
+			t.Fatalf("mount %s: %v", id, err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+	return store, mount
+}
+
+// TestAllModesBasicOps runs the shared-behaviour contract against every
+// baseline mode: the four implementations must be functionally identical,
+// differing only in cryptographic cost.
+func TestAllModesBasicOps(t *testing.T) {
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, mount := modeWorld(t, mode)
+			alice := mount("alice")
+
+			if err := alice.Mkdir("/docs", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			data := bytes.Repeat([]byte("baseline"), 50) // multi-block at bs=64
+			if err := alice.WriteFile("/docs/report", data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, err := alice.ReadFile("/docs/report")
+			if err != nil || !bytes.Equal(got, data) {
+				t.Fatalf("read = %d bytes, %v", len(got), err)
+			}
+			info, err := alice.Stat("/docs/report")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Size != uint64(len(data)) || info.Kind != types.KindFile || info.Owner != "alice" {
+				t.Errorf("info = %+v", info)
+			}
+			names, err := alice.ReadDir("/docs")
+			if err != nil || len(names) != 1 || names[0] != "report" {
+				t.Errorf("readdir = %v, %v", names, err)
+			}
+			// Overwrite smaller, then append.
+			if err := alice.WriteFile("/docs/report", []byte("v2"), 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := alice.Append("/docs/report", bytes.Repeat([]byte("+"), 100)); err != nil {
+				t.Fatal(err)
+			}
+			got, err = alice.ReadFile("/docs/report")
+			if err != nil || len(got) != 102 || string(got[:2]) != "v2" {
+				t.Fatalf("after append: %d bytes, %v", len(got), err)
+			}
+			// Rename and remove.
+			if err := alice.Rename("/docs/report", "/docs/final"); err != nil {
+				t.Fatal(err)
+			}
+			if err := alice.Remove("/docs/final"); err != nil {
+				t.Fatal(err)
+			}
+			if err := alice.Remove("/docs"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := alice.Stat("/docs"); !errors.Is(err, types.ErrNotExist) {
+				t.Errorf("stat removed dir: %v", err)
+			}
+		})
+	}
+}
+
+// TestModesShareSemanticsAcrossUsers: second users see consistent state
+// in every mode (with explicit refresh, as in the Sharoes client).
+func TestModesShareSemanticsAcrossUsers(t *testing.T) {
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, mount := modeWorld(t, mode)
+			alice, bob := mount("alice"), mount("bob")
+			if err := alice.WriteFile("/shared", []byte("v1"), 0o664); err != nil {
+				t.Fatal(err)
+			}
+			if got, err := bob.ReadFile("/shared"); err != nil || string(got) != "v1" {
+				t.Fatalf("bob read = %q, %v", got, err)
+			}
+			if err := bob.WriteFile("/shared", []byte("v2 from bob"), 0); err != nil {
+				t.Fatal(err)
+			}
+			alice.Refresh()
+			if got, err := alice.ReadFile("/shared"); err != nil || string(got) != "v2 from bob" {
+				t.Fatalf("alice read = %q, %v", got, err)
+			}
+		})
+	}
+}
+
+// TestAdvisoryPermissions: baselines enforce permissions as client policy
+// (the paper's point: they lack a real cryptographic access-control model,
+// offering only coarse read/write splits).
+func TestAdvisoryPermissions(t *testing.T) {
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, mount := modeWorld(t, mode)
+			alice, carol := mount("alice"), mount("carol")
+			if err := alice.WriteFile("/private", []byte("mine"), 0o600); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := carol.ReadFile("/private"); !errors.Is(err, types.ErrPermission) {
+				t.Errorf("carol read 600: %v", err)
+			}
+			if err := carol.Chmod("/private", 0o644); !errors.Is(err, types.ErrPermission) {
+				t.Errorf("carol chmod: %v", err)
+			}
+			if err := carol.Chown("/private", "carol", ""); !errors.Is(err, types.ErrPermission) {
+				t.Errorf("carol chown: %v", err)
+			}
+			if err := alice.Chmod("/private", 0o644); err != nil {
+				t.Fatal(err)
+			}
+			carol.Refresh()
+			if got, err := carol.ReadFile("/private"); err != nil || string(got) != "mine" {
+				t.Errorf("carol read after chmod = %q, %v", got, err)
+			}
+		})
+	}
+}
+
+// TestPublicMetadataIsActuallyEncrypted: in PUBLIC and PUB-OPT no
+// plaintext attribute survives at the SSP; in the NO-ENC modes it does
+// (that is what makes them baselines, not systems).
+func TestPublicMetadataIsActuallyEncrypted(t *testing.T) {
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			store, mount := modeWorld(t, mode)
+			alice := mount("alice")
+			if err := alice.WriteFile("/marker-name-xyzzy", []byte("data"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			items, err := store.List(wire.NSMeta, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sawOwner bool
+			for _, it := range items {
+				if bytes.Contains(it.Val, []byte("alice")) {
+					sawOwner = true
+				}
+			}
+			if mode.EncryptsMetadata() && sawOwner {
+				t.Errorf("%v leaked plaintext owner in metadata", mode)
+			}
+			if !mode.EncryptsMetadata() && !sawOwner {
+				t.Errorf("%v should store plaintext metadata", mode)
+			}
+		})
+	}
+}
+
+// TestDataEncryptionPerMode: file bytes are visible at the SSP only in
+// NO-ENC-MD-D.
+func TestDataEncryptionPerMode(t *testing.T) {
+	payload := []byte("EXTREMELY-DISTINCTIVE-PAYLOAD-BYTES")
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			store, mount := modeWorld(t, mode)
+			alice := mount("alice")
+			if err := alice.WriteFile("/f", payload, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			items, err := store.List(wire.NSData, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var visible bool
+			for _, it := range items {
+				if bytes.Contains(it.Val, payload) {
+					visible = true
+				}
+			}
+			if mode.EncryptsData() && visible {
+				t.Errorf("%v leaked plaintext data", mode)
+			}
+			if !mode.EncryptsData() && !visible {
+				t.Errorf("%v should store plaintext data", mode)
+			}
+		})
+	}
+}
+
+// TestPerUserMetadataReplication: PUBLIC and PUB-OPT store per-user
+// metadata state (the Scheme-1-equivalent cost the paper calls out).
+func TestPerUserMetadataReplication(t *testing.T) {
+	bFixture(t)
+	for _, mode := range []Mode{Public, PubOpt} {
+		t.Run(mode.String(), func(t *testing.T) {
+			store, mount := modeWorld(t, mode)
+			alice := mount("alice")
+			if err := alice.Create("/one", 0o644); err != nil {
+				t.Fatal(err)
+			}
+			st, err := store.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Root + one file, 3 users: at least 3 metadata blobs per
+			// object under PUBLIC; body + 3 wrapped keys under PUB-OPT.
+			if st.PerNS[wire.NSMeta] < 6 {
+				t.Errorf("meta objects = %d, want per-user replication", st.PerNS[wire.NSMeta])
+			}
+			// Each user can read their own replica.
+			for _, u := range []types.UserID{"bob", "carol"} {
+				s := mount(u)
+				if _, err := s.Stat("/one"); err != nil {
+					t.Errorf("%s stat: %v", u, err)
+				}
+			}
+		})
+	}
+}
+
+// TestCryptoCostOrdering: the microcost ordering the whole evaluation
+// rests on — PUBLIC metadata reads are far more expensive than PUB-OPT,
+// which is more expensive than the NO-ENC modes.
+func TestCryptoCostOrdering(t *testing.T) {
+	bFixture(t)
+	cost := make(map[Mode]int64)
+	for _, mode := range allModes() {
+		store := ssp.NewMemStore()
+		if err := Bootstrap(store, mode, "bfs", bReg, "alice", "eng", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		var rec stats.Recorder
+		s, err := Mount(Config{Store: store, Mode: mode, User: bUser["alice"], Registry: bReg,
+			FSID: "bfs", CacheBytes: 0, BlockSize: 4096, Recorder: &rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if err := s.Create(fmt.Sprintf("/f%d", i), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rec.Reset()
+		for i := 0; i < 5; i++ {
+			if _, err := s.Stat(fmt.Sprintf("/f%d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cost[mode] = int64(rec.Snapshot().Crypto)
+		s.Close()
+	}
+	if !(cost[Public] > cost[PubOpt] && cost[PubOpt] > cost[NoEncMD]) {
+		t.Errorf("stat crypto cost ordering violated: PUBLIC=%d PUB-OPT=%d NO-ENC-MD=%d NO-ENC-MD-D=%d",
+			cost[Public], cost[PubOpt], cost[NoEncMD], cost[NoEncMDD])
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if NoEncMDD.String() != "NO-ENC-MD-D" || Public.String() != "PUBLIC" ||
+		PubOpt.String() != "PUB-OPT" || NoEncMD.String() != "NO-ENC-MD" {
+		t.Error("mode labels wrong")
+	}
+	if Mode(99).String() != "mode(99)" {
+		t.Error("unknown mode label")
+	}
+}
+
+func TestMountErrors(t *testing.T) {
+	bFixture(t)
+	if _, err := Mount(Config{}); err == nil {
+		t.Error("empty config mounted")
+	}
+	// Mounting an un-bootstrapped store fails.
+	if _, err := Mount(Config{Store: ssp.NewMemStore(), Mode: NoEncMD, User: bUser["alice"],
+		Registry: bReg, FSID: "nope"}); err == nil {
+		t.Error("mounted a missing filesystem")
+	}
+}

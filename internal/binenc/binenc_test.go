@@ -1,0 +1,105 @@
+package binenc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var w Writer
+	w.Uvarint(300)
+	w.Byte(7)
+	w.Bool(true)
+	w.Bool(false)
+	w.BytesField([]byte("blob"))
+	w.String("name")
+	w.Raw([]byte{1, 2, 3})
+
+	r := NewReader(w.Bytes())
+	if v, err := r.Uvarint(); err != nil || v != 300 {
+		t.Fatalf("uvarint = %d, %v", v, err)
+	}
+	if b, err := r.Byte(); err != nil || b != 7 {
+		t.Fatalf("byte = %d, %v", b, err)
+	}
+	if v, err := r.Bool(); err != nil || !v {
+		t.Fatalf("bool = %v, %v", v, err)
+	}
+	if v, err := r.Bool(); err != nil || v {
+		t.Fatalf("bool = %v, %v", v, err)
+	}
+	if b, err := r.BytesField(); err != nil || string(b) != "blob" {
+		t.Fatalf("bytes = %q, %v", b, err)
+	}
+	if s, err := r.String(); err != nil || s != "name" {
+		t.Fatalf("string = %q, %v", s, err)
+	}
+	if b, err := r.Raw(3); err != nil || !bytes.Equal(b, []byte{1, 2, 3}) {
+		t.Fatalf("raw = %v, %v", b, err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	r := NewReader(nil)
+	if _, err := r.Uvarint(); !errors.Is(err, ErrTruncated) {
+		t.Errorf("uvarint: %v", err)
+	}
+	if _, err := r.Byte(); !errors.Is(err, ErrTruncated) {
+		t.Errorf("byte: %v", err)
+	}
+	if _, err := r.Bool(); !errors.Is(err, ErrTruncated) {
+		t.Errorf("bool: %v", err)
+	}
+	if _, err := r.Raw(1); !errors.Is(err, ErrTruncated) {
+		t.Errorf("raw: %v", err)
+	}
+	if _, err := r.Raw(-1); !errors.Is(err, ErrTruncated) {
+		t.Errorf("raw negative: %v", err)
+	}
+	// A length prefix larger than the buffer must error, not panic.
+	var w Writer
+	w.Uvarint(1000)
+	r = NewReader(w.Bytes())
+	if _, err := r.BytesField(); !errors.Is(err, ErrTruncated) {
+		t.Errorf("bytes overshoot: %v", err)
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(u uint64, s string, b []byte, flag bool) bool {
+		var w Writer
+		w.Uvarint(u)
+		w.String(s)
+		w.BytesField(b)
+		w.Bool(flag)
+
+		r := NewReader(w.Bytes())
+		gu, err1 := r.Uvarint()
+		gs, err2 := r.String()
+		gb, err3 := r.BytesField()
+		gf, err4 := r.Bool()
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return false
+		}
+		return gu == u && gs == s && bytes.Equal(gb, b) && gf == flag && r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriterLen(t *testing.T) {
+	var w Writer
+	if w.Len() != 0 {
+		t.Error("fresh writer not empty")
+	}
+	w.Byte(1)
+	if w.Len() != 1 {
+		t.Errorf("len = %d", w.Len())
+	}
+}

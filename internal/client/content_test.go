@@ -1,0 +1,148 @@
+package client
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestContentModel drives random write/append/overwrite/read sequences on
+// a single file against a plain byte-buffer oracle, with a tiny block size
+// so every block-boundary case (empty file, exact multiple, partial tail,
+// shrink, grow, repeated appends) is exercised. This is the data-path
+// complement to the semantics-focused TestModelEquivalence.
+func TestContentModel(t *testing.T) {
+	schemes(t, func(t *testing.T, w *world) {
+		alice := w.as("alice")
+		for seed := int64(1); seed <= 2; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			path := fmt.Sprintf("/content-%d", seed)
+			var oracle []byte
+			exists := false
+
+			for step := 0; step < 60; step++ {
+				switch rng.Intn(4) {
+				case 0: // overwrite with random size (0..300 bytes; bs=64)
+					n := rng.Intn(301)
+					data := make([]byte, n)
+					rng.Read(data)
+					if err := alice.WriteFile(path, data, 0o644); err != nil {
+						t.Fatalf("seed %d step %d write: %v", seed, step, err)
+					}
+					oracle = append([]byte(nil), data...)
+					exists = true
+				case 1: // append
+					if !exists {
+						continue
+					}
+					n := rng.Intn(150)
+					data := make([]byte, n)
+					rng.Read(data)
+					if err := alice.Append(path, data); err != nil {
+						t.Fatalf("seed %d step %d append: %v", seed, step, err)
+					}
+					oracle = append(oracle, data...)
+				case 2: // read and compare
+					if !exists {
+						continue
+					}
+					got, err := alice.ReadFile(path)
+					if err != nil {
+						t.Fatalf("seed %d step %d read: %v", seed, step, err)
+					}
+					if !bytes.Equal(got, oracle) {
+						t.Fatalf("seed %d step %d: content diverged (%d vs %d bytes)",
+							seed, step, len(got), len(oracle))
+					}
+				default: // cold read through a fresh session
+					if !exists {
+						continue
+					}
+					fresh := w.mountFresh("alice", 0) // cache disabled
+					got, err := fresh.ReadFile(path)
+					fresh.Close()
+					if err != nil {
+						t.Fatalf("seed %d step %d cold read: %v", seed, step, err)
+					}
+					if !bytes.Equal(got, oracle) {
+						t.Fatalf("seed %d step %d: cold content diverged", seed, step)
+					}
+				}
+			}
+			// Final sizes agree via stat too.
+			if exists {
+				info, err := alice.Stat(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if info.Size != uint64(len(oracle)) {
+					t.Fatalf("seed %d: stat size %d, oracle %d", seed, info.Size, len(oracle))
+				}
+			}
+		}
+	})
+}
+
+// TestDeepHierarchy exercises long resolve chains and unusual names.
+func TestDeepHierarchy(t *testing.T) {
+	schemes(t, func(t *testing.T, w *world) {
+		alice := w.as("alice")
+		path := ""
+		names := []string{"a", "with space", "uni-ço∂é", "trailing.", "_under", "x"}
+		for _, n := range names {
+			path += "/" + n
+			if err := alice.Mkdir(path, 0o755); err != nil {
+				t.Fatalf("mkdir %q: %v", path, err)
+			}
+		}
+		leaf := path + "/leaf.txt"
+		if err := alice.WriteFile(leaf, []byte("deep"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// A second user resolves the whole chain.
+		if got, err := w.as("carol").ReadFile(leaf); err != nil || string(got) != "deep" {
+			t.Errorf("carol deep read = %q, %v", got, err)
+		}
+		// Dot traversal collapses lexically.
+		if got, err := alice.ReadFile(path + "/../" + names[len(names)-1] + "/leaf.txt"); err != nil || string(got) != "deep" {
+			t.Errorf("dotdot read = %q, %v", got, err)
+		}
+	})
+}
+
+// TestWideDirectory stresses table re-encoding with many entries across
+// all view shapes (the exec-only view re-derives a key per row).
+func TestWideDirectory(t *testing.T) {
+	schemes(t, func(t *testing.T, w *world) {
+		alice := w.as("alice")
+		if err := alice.Mkdir("/wide", 0o711); err != nil { // exec-only for others
+			t.Fatal(err)
+		}
+		const n = 120
+		for i := 0; i < n; i++ {
+			if err := alice.Create(fmt.Sprintf("/wide/f%03d", i), 0o644); err != nil {
+				t.Fatalf("create %d: %v", i, err)
+			}
+		}
+		names, err := alice.ReadDir("/wide")
+		if err != nil || len(names) != n {
+			t.Fatalf("ls = %d entries, %v", len(names), err)
+		}
+		// Exec-only access by exact name still works at width.
+		carol := w.as("carol")
+		if _, err := carol.Stat("/wide/f077"); err != nil {
+			t.Errorf("carol stat by name: %v", err)
+		}
+		// Delete half, verify the rest.
+		for i := 0; i < n; i += 2 {
+			if err := alice.Remove(fmt.Sprintf("/wide/f%03d", i)); err != nil {
+				t.Fatalf("remove %d: %v", i, err)
+			}
+		}
+		names, err = alice.ReadDir("/wide")
+		if err != nil || len(names) != n/2 {
+			t.Fatalf("after deletes: %d entries, %v", len(names), err)
+		}
+	})
+}

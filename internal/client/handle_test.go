@@ -1,0 +1,165 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"github.com/sharoes/sharoes/internal/types"
+)
+
+func TestHandleReadWriteClose(t *testing.T) {
+	schemes(t, func(t *testing.T, w *world) {
+		alice := w.as("alice")
+
+		// Create-and-write through a handle; nothing visible until Close.
+		f, err := alice.OpenFile("/h.txt", OWrite|OCreate, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("hello ")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("handles")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil { // double close is fine
+			t.Fatal(err)
+		}
+		got, err := alice.ReadFile("/h.txt")
+		if err != nil || string(got) != "hello handles" {
+			t.Fatalf("after close = %q, %v", got, err)
+		}
+
+		// Read through a handle with io.ReadAll.
+		rf, err := alice.OpenFile("/h.txt", ORead, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all, err := io.ReadAll(rf)
+		if err != nil || string(all) != "hello handles" {
+			t.Fatalf("ReadAll = %q, %v", all, err)
+		}
+		// Writes on a read-only handle fail.
+		if _, err := rf.Write([]byte("x")); !errors.Is(err, types.ErrPermission) {
+			t.Errorf("write on read handle: %v", err)
+		}
+		rf.Close()
+		if _, err := rf.Read(make([]byte, 1)); !errors.Is(err, types.ErrClosed) {
+			t.Errorf("read after close: %v", err)
+		}
+	})
+}
+
+func TestHandleSeekAndWriteAt(t *testing.T) {
+	schemes(t, func(t *testing.T, w *world) {
+		alice := w.as("alice")
+		if err := alice.WriteFile("/seek.bin", bytes.Repeat([]byte{'.'}, 200), perm(t, "644")); err != nil {
+			t.Fatal(err)
+		}
+		f, err := alice.OpenFile("/seek.bin", OWrite, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Patch the middle (crosses the 64-byte block boundary).
+		if _, err := f.WriteAt([]byte("PATCH"), 62); err != nil {
+			t.Fatal(err)
+		}
+		// Append past the end via SeekEnd.
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("TAIL")); err != nil {
+			t.Fatal(err)
+		}
+		// Read back through the same handle.
+		if _, err := f.Seek(62, io.SeekStart); err != nil {
+			t.Fatal(err)
+		}
+		probe := make([]byte, 5)
+		if _, err := io.ReadFull(f, probe); err != nil || string(probe) != "PATCH" {
+			t.Fatalf("probe = %q, %v", probe, err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := alice.ReadFile("/seek.bin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 204 || string(got[62:67]) != "PATCH" || string(got[200:]) != "TAIL" {
+			t.Errorf("final content wrong: len=%d", len(got))
+		}
+	})
+}
+
+func TestHandleTruncate(t *testing.T) {
+	schemes(t, func(t *testing.T, w *world) {
+		alice := w.as("alice")
+		if err := alice.WriteFile("/t.bin", bytes.Repeat([]byte{1}, 150), perm(t, "644")); err != nil {
+			t.Fatal(err)
+		}
+		f, err := alice.OpenFile("/t.bin", OWrite, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Truncate(10); err != nil {
+			t.Fatal(err)
+		}
+		if f.Size() != 10 {
+			t.Errorf("size = %d", f.Size())
+		}
+		if err := f.Truncate(20); err != nil { // extend with zeros
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := alice.ReadFile("/t.bin")
+		if len(got) != 20 || got[0] != 1 || got[15] != 0 {
+			t.Errorf("truncate result: len=%d", len(got))
+		}
+		// OTrunc at open.
+		f2, err := alice.OpenFile("/t.bin", OWrite|OTrunc, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f2.Write([]byte("fresh"))
+		f2.Close()
+		if got, _ := alice.ReadFile("/t.bin"); string(got) != "fresh" {
+			t.Errorf("OTrunc result: %q", got)
+		}
+	})
+}
+
+func TestHandlePermissions(t *testing.T) {
+	schemes(t, func(t *testing.T, w *world) {
+		alice := w.as("alice")
+		if err := alice.WriteFile("/ro.txt", []byte("read me"), perm(t, "644")); err != nil {
+			t.Fatal(err)
+		}
+		carol := w.as("carol")
+		// carol can open read-only...
+		f, err := carol.OpenFile("/ro.txt", ORead, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		// ...but not for write.
+		if _, err := carol.OpenFile("/ro.txt", OWrite, 0); !errors.Is(err, types.ErrPermission) {
+			t.Errorf("carol open-write: %v", err)
+		}
+		// Missing file without OCreate.
+		if _, err := alice.OpenFile("/missing", OWrite, 0o644); !errors.Is(err, types.ErrNotExist) {
+			t.Errorf("open missing: %v", err)
+		}
+		// Directories are not openable.
+		if _, err := alice.OpenFile("/", ORead, 0); !errors.Is(err, types.ErrIsDir) {
+			t.Errorf("open dir: %v", err)
+		}
+	})
+}

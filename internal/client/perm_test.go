@@ -1,0 +1,314 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/sharoes/sharoes/internal/types"
+)
+
+// TestFilePermissionMatrix exercises the file CAPs end to end: owner,
+// group member and other against 640/644/664 files.
+func TestFilePermissionMatrix(t *testing.T) {
+	schemes(t, func(t *testing.T, w *world) {
+		alice := w.as("alice")
+		files := map[string]string{
+			"/f640": "640",
+			"/f644": "644",
+			"/f600": "600",
+			"/f664": "664",
+		}
+		for path, p := range files {
+			if err := alice.WriteFile(path, []byte("secret "+p), perm(t, p)); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		cases := []struct {
+			user      types.UserID
+			path      string
+			wantRead  bool
+			wantWrite bool
+		}{
+			{"alice", "/f600", true, true},
+			{"bob", "/f600", false, false},
+			{"carol", "/f600", false, false},
+			{"bob", "/f640", true, false},
+			{"carol", "/f640", false, false},
+			{"bob", "/f644", true, false},
+			{"carol", "/f644", true, false},
+			{"bob", "/f664", true, true},
+			{"carol", "/f664", true, false},
+		}
+		for _, c := range cases {
+			s := w.as(c.user)
+			_, err := s.ReadFile(c.path)
+			if got := err == nil; got != c.wantRead {
+				t.Errorf("%s read %s: err=%v, want ok=%v", c.user, c.path, err, c.wantRead)
+			}
+			if err != nil && !errors.Is(err, types.ErrPermission) {
+				t.Errorf("%s read %s: wrong error class %v", c.user, c.path, err)
+			}
+			err = s.WriteFile(c.path, []byte("overwrite"), 0o644)
+			if got := err == nil; got != c.wantWrite {
+				t.Errorf("%s write %s: err=%v, want ok=%v", c.user, c.path, err, c.wantWrite)
+			}
+			if err == nil {
+				// Restore for the next case.
+				if werr := alice.WriteFile(c.path, []byte("secret"), 0); werr != nil {
+					t.Fatal(werr)
+				}
+			}
+		}
+
+		// Everyone can stat regardless of read permission (the zero CAP
+		// keeps attributes visible), as in *nix with exec on the path.
+		for _, u := range []types.UserID{"bob", "carol", "dave"} {
+			info, err := w.as(u).Stat("/f600")
+			if err != nil {
+				t.Errorf("%s stat /f600: %v", u, err)
+				continue
+			}
+			if info.Perm != 0o600 || info.Owner != "alice" {
+				t.Errorf("%s stat: %+v", u, info)
+			}
+		}
+	})
+}
+
+// TestDirReadOnlyCAP: read permission lists names but cannot traverse —
+// the names column is all the CAP exposes.
+func TestDirReadOnlyCAP(t *testing.T) {
+	schemes(t, func(t *testing.T, w *world) {
+		alice := w.as("alice")
+		if err := alice.Mkdir("/ro", perm(t, "744")); err != nil {
+			t.Fatal(err)
+		}
+		if err := alice.WriteFile("/ro/visible-name", []byte("data"), perm(t, "644")); err != nil {
+			t.Fatal(err)
+		}
+		carol := w.as("carol")
+		names, err := carol.ReadDir("/ro")
+		if err != nil {
+			t.Fatalf("carol ls /ro: %v", err)
+		}
+		if len(names) != 1 || names[0] != "visible-name" {
+			t.Errorf("names = %v", names)
+		}
+		// But she cannot stat or read through it (no exec).
+		if _, err := carol.Stat("/ro/visible-name"); !errors.Is(err, types.ErrPermission) {
+			t.Errorf("carol stat through r--: %v", err)
+		}
+		if _, err := carol.ReadFile("/ro/visible-name"); !errors.Is(err, types.ErrPermission) {
+			t.Errorf("carol read through r--: %v", err)
+		}
+	})
+}
+
+// TestDirExecOnlyCAP: the paper's most interesting CAP — cd without ls.
+func TestDirExecOnlyCAP(t *testing.T) {
+	schemes(t, func(t *testing.T, w *world) {
+		alice := w.as("alice")
+		if err := alice.Mkdir("/dropbox", perm(t, "711")); err != nil {
+			t.Fatal(err)
+		}
+		if err := alice.WriteFile("/dropbox/known-file.txt", []byte("for those who know"), perm(t, "644")); err != nil {
+			t.Fatal(err)
+		}
+		if err := alice.Mkdir("/dropbox/subdir", perm(t, "755")); err != nil {
+			t.Fatal(err)
+		}
+		if err := alice.WriteFile("/dropbox/subdir/deep", []byte("deep"), perm(t, "644")); err != nil {
+			t.Fatal(err)
+		}
+
+		carol := w.as("carol")
+		// "ls" must fail...
+		if _, err := carol.ReadDir("/dropbox"); !errors.Is(err, types.ErrPermission) {
+			t.Errorf("carol ls /dropbox: %v", err)
+		}
+		// ...but access by exact name works.
+		got, err := carol.ReadFile("/dropbox/known-file.txt")
+		if err != nil {
+			t.Fatalf("carol read known name: %v", err)
+		}
+		if string(got) != "for those who know" {
+			t.Errorf("content = %q", got)
+		}
+		// Traversal deeper through the exec-only directory works too.
+		if got, err := carol.ReadFile("/dropbox/subdir/deep"); err != nil || string(got) != "deep" {
+			t.Errorf("deep read = %q, %v", got, err)
+		}
+		// Unknown names are simply absent.
+		if _, err := carol.Stat("/dropbox/unguessed"); !errors.Is(err, types.ErrNotExist) {
+			t.Errorf("unknown name: %v", err)
+		}
+		// The owner can still list.
+		names, err := alice.ReadDir("/dropbox")
+		if err != nil || len(names) != 2 {
+			t.Errorf("alice ls = %v, %v", names, err)
+		}
+	})
+}
+
+// TestDirZeroCAP: no access at all for others.
+func TestDirZeroCAP(t *testing.T) {
+	schemes(t, func(t *testing.T, w *world) {
+		alice := w.as("alice")
+		if err := alice.Mkdir("/private", perm(t, "700")); err != nil {
+			t.Fatal(err)
+		}
+		if err := alice.WriteFile("/private/diary", []byte("dear diary"), perm(t, "600")); err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range []types.UserID{"bob", "carol"} {
+			s := w.as(u)
+			if _, err := s.ReadDir("/private"); !errors.Is(err, types.ErrPermission) {
+				t.Errorf("%s ls: %v", u, err)
+			}
+			if _, err := s.Stat("/private/diary"); !errors.Is(err, types.ErrPermission) {
+				t.Errorf("%s stat child: %v", u, err)
+			}
+			if _, err := s.ReadFile("/private/diary"); !errors.Is(err, types.ErrPermission) {
+				t.Errorf("%s read child: %v", u, err)
+			}
+			// Stat of the directory itself still works.
+			if _, err := s.Stat("/private"); err != nil {
+				t.Errorf("%s stat dir: %v", u, err)
+			}
+		}
+	})
+}
+
+// TestGroupDirPermissions: group members get the group CAP.
+func TestGroupDirPermissions(t *testing.T) {
+	schemes(t, func(t *testing.T, w *world) {
+		alice := w.as("alice")
+		if err := alice.Mkdir("/team", perm(t, "770")); err != nil {
+			t.Fatal(err)
+		}
+		bob := w.as("bob")
+		if err := bob.WriteFile("/team/notes", []byte("standup"), perm(t, "660")); err != nil {
+			t.Fatalf("bob (group) create: %v", err)
+		}
+		if _, err := w.as("carol").ReadDir("/team"); !errors.Is(err, types.ErrPermission) {
+			t.Error("carol listed a 770 dir")
+		}
+		if got, err := alice.ReadFile("/team/notes"); err != nil || string(got) != "standup" {
+			t.Errorf("alice read = %q, %v", got, err)
+		}
+	})
+}
+
+// TestOwnerPolicyEnforced: owners hold all keys, but the client enforces
+// the owner triplet as policy, like a local fs.
+func TestOwnerPolicyEnforced(t *testing.T) {
+	schemes(t, func(t *testing.T, w *world) {
+		alice := w.as("alice")
+		if err := alice.WriteFile("/f", []byte("x"), perm(t, "644")); err != nil {
+			t.Fatal(err)
+		}
+		if err := alice.Chmod("/f", perm(t, "444")); err != nil {
+			t.Fatal(err)
+		}
+		if err := alice.WriteFile("/f", []byte("y"), 0); !errors.Is(err, types.ErrPermission) {
+			t.Errorf("owner write to 444: %v", err)
+		}
+		// But the owner can always chmod back in.
+		if err := alice.Chmod("/f", perm(t, "644")); err != nil {
+			t.Fatal(err)
+		}
+		if err := alice.WriteFile("/f", []byte("y"), 0); err != nil {
+			t.Errorf("owner write after chmod: %v", err)
+		}
+	})
+}
+
+// TestCrossClassLink: bob reaches a directory he owns through a parent
+// where he is merely "other" — the row must hand him his owner variant.
+func TestCrossClassLink(t *testing.T) {
+	schemes(t, func(t *testing.T, w *world) {
+		alice := w.as("alice")
+		if err := alice.Mkdir("/home", perm(t, "755")); err != nil {
+			t.Fatal(err)
+		}
+		bob := w.as("bob")
+		// alice creates bob's home and hands it over.
+		if err := alice.Mkdir("/home/bob", perm(t, "755")); err != nil {
+			t.Fatal(err)
+		}
+		if err := alice.Chown("/home/bob", "bob", "eng"); err != nil {
+			t.Fatal(err)
+		}
+		bob.Refresh()
+		// bob, owner now, locks it down and uses it.
+		if err := bob.Chmod("/home/bob", perm(t, "700")); err != nil {
+			t.Fatalf("bob chmod own dir: %v", err)
+		}
+		if err := bob.WriteFile("/home/bob/.profile", []byte("export X=1"), perm(t, "600")); err != nil {
+			t.Fatalf("bob write in own dir: %v", err)
+		}
+		if got, err := bob.ReadFile("/home/bob/.profile"); err != nil || !bytes.Equal(got, []byte("export X=1")) {
+			t.Errorf("bob read own = %q, %v", got, err)
+		}
+		// carol and even alice (ex-owner) are locked out of the contents.
+		for _, u := range []types.UserID{"carol", "alice"} {
+			s := w.mountFresh(u, -1)
+			defer s.Close()
+			if _, err := s.ReadDir("/home/bob"); !errors.Is(err, types.ErrPermission) {
+				t.Errorf("%s listed bob's 700 home: %v", u, err)
+			}
+		}
+	})
+}
+
+// TestSplitPointResolution: a configuration where co-travellers of a
+// parent variant diverge on a child, exercising the sealed-pointer path
+// under Scheme-2 (Scheme-1 never splits but must behave identically).
+func TestSplitPointResolution(t *testing.T) {
+	schemes(t, func(t *testing.T, w *world) {
+		alice := w.as("alice")
+		if err := alice.Mkdir("/proj", perm(t, "755")); err != nil {
+			t.Fatal(err)
+		}
+		// Child group is "qa" (carol's group): among the "other"
+		// travellers of /proj (carol, dave), carol is group on the child
+		// and dave is other → split.
+		if err := alice.Mkdir("/proj/qa-docs", perm(t, "750")); err != nil {
+			t.Fatal(err)
+		}
+		if err := alice.Chown("/proj/qa-docs", "alice", "qa"); err != nil {
+			t.Fatal(err)
+		}
+		if err := alice.WriteFile("/proj/qa-docs/plan", []byte("test plan"), perm(t, "640")); err != nil {
+			t.Fatal(err)
+		}
+
+		// carol (group qa): full r-x access via her pointer.
+		carol := w.mountFresh("carol", -1)
+		defer carol.Close()
+		names, err := carol.ReadDir("/proj/qa-docs")
+		if err != nil {
+			t.Fatalf("carol ls qa-docs: %v", err)
+		}
+		if len(names) != 1 || names[0] != "plan" {
+			t.Errorf("names = %v", names)
+		}
+		if got, err := carol.ReadFile("/proj/qa-docs/plan"); err != nil || string(got) != "test plan" {
+			t.Errorf("carol read = %q, %v", got, err)
+		}
+		// dave (other, zero CAP on qa-docs): stat only.
+		dave := w.mountFresh("dave", -1)
+		defer dave.Close()
+		if _, err := dave.Stat("/proj/qa-docs"); err != nil {
+			t.Errorf("dave stat: %v", err)
+		}
+		if _, err := dave.ReadDir("/proj/qa-docs"); !errors.Is(err, types.ErrPermission) {
+			t.Errorf("dave ls: %v", err)
+		}
+		if _, err := dave.ReadFile("/proj/qa-docs/plan"); !errors.Is(err, types.ErrPermission) {
+			t.Errorf("dave read: %v", err)
+		}
+	})
+}

@@ -1,0 +1,199 @@
+package client
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/sharoes/sharoes/internal/layout"
+	"github.com/sharoes/sharoes/internal/migrate"
+	"github.com/sharoes/sharoes/internal/ssp"
+	"github.com/sharoes/sharoes/internal/types"
+	"github.com/sharoes/sharoes/internal/wire"
+)
+
+// tamperWorld bootstraps a filesystem behind a FaultStore so tests can
+// model a malicious SSP (paper §VII: the SSP is trusted to store, not with
+// confidentiality or access control; attacks must be *detected*).
+func tamperWorld(t *testing.T) (*ssp.FaultStore, *Session) {
+	t.Helper()
+	fixture(t)
+	fs := ssp.NewFaultStore(ssp.NewMemStore())
+	eng := layout.NewScheme2(fixReg)
+	err := migrate.Bootstrap(migrate.Options{Store: fs, Registry: fixReg, Layout: eng,
+		FSID: "testfs", RootOwner: "alice", RootGroup: "eng", RootPerm: 0o755})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Mount(Config{Store: fs, User: fixUser["alice"], Registry: fixReg, Layout: eng,
+		FSID: "testfs", CacheBytes: 0, BlockSize: 64}) // cache disabled: every read hits the SSP
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return fs, s
+}
+
+func TestTamperedMetadataDetected(t *testing.T) {
+	fs, alice := tamperWorld(t)
+	if err := alice.WriteFile("/f", []byte("authentic"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs.AddRule(ssp.FaultRule{Mode: ssp.FaultTamper, NS: wire.NSMeta})
+	if _, err := alice.Stat("/f"); !errors.Is(err, types.ErrTampered) {
+		t.Errorf("stat over tampered metadata: %v", err)
+	}
+	fs.ClearRules()
+	if _, err := alice.Stat("/f"); err != nil {
+		t.Errorf("stat after clearing faults: %v", err)
+	}
+}
+
+func TestTamperedDataBlockDetected(t *testing.T) {
+	fs, alice := tamperWorld(t)
+	if err := alice.WriteFile("/f", []byte("block content that spans multiple 64-byte blocks for certain........"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs.AddRule(ssp.FaultRule{Mode: ssp.FaultTamper, NS: wire.NSData, KeyPart: "f/"})
+	if _, err := alice.ReadFile("/f"); !errors.Is(err, types.ErrTampered) {
+		t.Errorf("read of tampered block: %v", err)
+	}
+}
+
+func TestTamperedDirTableDetected(t *testing.T) {
+	fs, alice := tamperWorld(t)
+	if err := alice.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	fs.AddRule(ssp.FaultRule{Mode: ssp.FaultTamper, NS: wire.NSData, KeyPart: "t/"})
+	if _, err := alice.ReadDir("/d"); !errors.Is(err, types.ErrTampered) {
+		t.Errorf("readdir of tampered table: %v", err)
+	}
+}
+
+// TestSwappedObjectDetected: the SSP serves a different, validly-sealed
+// object in place of the requested one. AAD location binding catches it.
+func TestSwappedObjectDetected(t *testing.T) {
+	fs, alice := tamperWorld(t)
+	if err := alice.WriteFile("/a", []byte("content a"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.WriteFile("/b", []byte("content b"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Find the two files' first blocks and swap them.
+	items, err := fs.Inner.List(wire.NSData, "f/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blockKeys []string
+	for _, it := range items {
+		if it.Key[len(it.Key)-1] == '0' { // block index 0
+			blockKeys = append(blockKeys, it.Key)
+		}
+	}
+	if len(blockKeys) != 2 {
+		t.Fatalf("expected 2 block-0 keys, got %v", blockKeys)
+	}
+	fs.AddRule(ssp.FaultRule{Mode: ssp.FaultSwap, NS: wire.NSData, KeyPart: blockKeys[0], SwapKey: blockKeys[1]})
+	// One of the two reads must hit the swap and fail; neither may
+	// silently return the other file's content.
+	gotA, errA := alice.ReadFile("/a")
+	gotB, errB := alice.ReadFile("/b")
+	if errA == nil && errB == nil {
+		t.Fatal("both reads succeeded through a swap")
+	}
+	if errA == nil && string(gotA) != "content a" {
+		t.Errorf("/a returned foreign content %q", gotA)
+	}
+	if errB == nil && string(gotB) != "content b" {
+		t.Errorf("/b returned foreign content %q", gotB)
+	}
+}
+
+// TestUnauthorizedWriteDetected: a reader (or the SSP) re-encrypts a block
+// with the DEK it knows but cannot produce a valid DSK signature.
+func TestUnauthorizedWriteDetected(t *testing.T) {
+	fixture(t)
+	store := ssp.NewMemStore()
+	eng := layout.NewScheme2(fixReg)
+	err := migrate.Bootstrap(migrate.Options{Store: store, Registry: fixReg, Layout: eng,
+		FSID: "testfs", RootOwner: "alice", RootGroup: "eng", RootPerm: 0o755})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mount := func(id types.UserID) *Session {
+		s, err := Mount(Config{Store: store, User: fixUser[id], Registry: fixReg, Layout: eng,
+			FSID: "testfs", CacheBytes: 0, BlockSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+	alice := mount("alice")
+	if err := alice.WriteFile("/readonly-for-carol", []byte("original"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// carol holds the DEK (she can read) — the attack the paper's
+	// signing/verification design exists to stop (§II-B).
+	carol := mount("carol")
+	if err := carol.WriteFile("/readonly-for-carol", []byte("forged"), 0); !errors.Is(err, types.ErrPermission) {
+		t.Fatalf("carol write: %v", err)
+	}
+	// Simulate carol bypassing the client and writing a DEK-encrypted
+	// forged blob straight to the SSP: she has no DSK, so she signs with
+	// a key she made up. Readers must reject it.
+	_, cm, err := carol.resolve("/readonly-for-carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := *cm
+	tmp.Keys.DSK = newObjectKeys().DSK // a signing key of her own, not the file's DSK
+	forged, err := carol.sealFileData(&tmp, []byte("forged!!"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.BatchPut(forged); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.ReadFile("/readonly-for-carol"); !errors.Is(err, types.ErrTampered) {
+		t.Errorf("alice accepted a forged write: %v", err)
+	}
+}
+
+// TestRollbackVisibility documents what a pure rollback (replay of stale
+// but once-valid state) does: it is NOT detected — the paper explicitly
+// defers fork-consistency to a SUNDR integration (§VI) — but it can only
+// yield stale authentic content, never forged content.
+func TestRollbackVisibility(t *testing.T) {
+	fs, alice := tamperWorld(t)
+	if err := alice.WriteFile("/f", []byte("version-1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.WriteFile("/f", []byte("version-2"), 0); err != nil {
+		t.Fatal(err)
+	}
+	fs.AddRule(ssp.FaultRule{Mode: ssp.FaultRollback, NS: wire.NSData})
+	got, err := alice.ReadFile("/f")
+	if err != nil {
+		// Acceptable too: some rollbacks break cross-blob consistency
+		// and are detected.
+		return
+	}
+	if string(got) != "version-1" && string(got) != "version-2" {
+		t.Errorf("rollback yielded forged content %q", got)
+	}
+}
+
+// TestDroppedBlobSurfacesError: the SSP hiding blobs must surface as an
+// integrity error on data reads, not as silently-empty content.
+func TestDroppedBlobSurfacesError(t *testing.T) {
+	fs, alice := tamperWorld(t)
+	if err := alice.WriteFile("/f", []byte("some content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs.AddRule(ssp.FaultRule{Mode: ssp.FaultDrop, NS: wire.NSData, KeyPart: "f/"})
+	if _, err := alice.ReadFile("/f"); !errors.Is(err, types.ErrTampered) {
+		t.Errorf("read with dropped blocks: %v", err)
+	}
+}

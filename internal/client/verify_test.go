@@ -1,0 +1,103 @@
+package client
+
+import (
+	"testing"
+
+	"github.com/sharoes/sharoes/internal/ssp"
+	"github.com/sharoes/sharoes/internal/wire"
+)
+
+func TestVerifyCleanTree(t *testing.T) {
+	schemes(t, func(t *testing.T, w *world) {
+		alice := w.as("alice")
+		if err := alice.Mkdir("/proj", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := alice.WriteFile("/proj/a", []byte("aaa"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := alice.WriteFile("/proj/b", make([]byte, 200), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := alice.Mkdir("/proj/sub", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := alice.Verify("/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Fatalf("clean tree has problems: %+v", rep.Problems)
+		}
+		if rep.Objects != 5 { // /, /proj, a, b, sub
+			t.Errorf("objects = %d", rep.Objects)
+		}
+		if rep.Bytes != 203 {
+			t.Errorf("bytes = %d", rep.Bytes)
+		}
+		if rep.String() == "" {
+			t.Error("empty report string")
+		}
+	})
+}
+
+func TestVerifyFindsTampering(t *testing.T) {
+	fs, alice := tamperWorld(t)
+	if err := alice.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.WriteFile("/d/ok", []byte("fine"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.WriteFile("/d/bad", []byte("will be tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Find /d/bad's block and tamper exactly it.
+	items, err := fs.Inner.List(wire.NSData, "f/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target string
+	for _, it := range items {
+		if len(it.Val) > 0 && it.Key[len(it.Key)-1] == '0' {
+			target = it.Key // tamper one file's block 0
+			break
+		}
+	}
+	fs.AddRule(ssp.FaultRule{Mode: ssp.FaultTamper, NS: wire.NSData, KeyPart: target})
+	rep, err := alice.Verify("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("verify missed the tampering")
+	}
+	if len(rep.Problems) != 1 {
+		t.Errorf("problems = %+v", rep.Problems)
+	}
+}
+
+func TestVerifyScopesToKeys(t *testing.T) {
+	schemes(t, func(t *testing.T, w *world) {
+		alice := w.as("alice")
+		if err := alice.Mkdir("/mine", 0o700); err != nil {
+			t.Fatal(err)
+		}
+		if err := alice.WriteFile("/mine/secret", []byte("s"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		// carol can verify only what she can read; alice's private
+		// subtree is skipped, not a problem.
+		carol := w.as("carol")
+		rep, err := carol.Verify("/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Fatalf("problems = %+v", rep.Problems)
+		}
+		if rep.Skipped == 0 {
+			t.Error("expected skipped objects for carol")
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package meta
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"github.com/sharoes/sharoes/internal/binenc"
+	"github.com/sharoes/sharoes/internal/sharocrypto"
+	"github.com/sharoes/sharoes/internal/types"
+)
+
+// ErrVerify reports a signature or decryption failure on a sealed blob —
+// evidence of an unauthorized write or SSP tampering.
+var ErrVerify = errors.New("meta: sealed object failed verification")
+
+// SealSigned encrypts plaintext under key, binding aad, then signs
+// ciphertext||aad with sk. This is the envelope for every signed structure
+// at the SSP: metadata objects (MEK+MSK), directory tables and file blocks
+// (DEK+DSK). The signature is what lets readers — who necessarily hold the
+// symmetric key — detect writes by non-writers, without trusting the SSP.
+func SealSigned(key sharocrypto.SymKey, sk sharocrypto.SignKey, aad, plaintext []byte) []byte {
+	ct := key.Seal(plaintext, aad)
+	signed := make([]byte, 0, len(ct)+len(aad))
+	signed = append(signed, ct...)
+	signed = append(signed, aad...)
+	sig := sk.Sign(signed)
+
+	var w binenc.Writer
+	w.BytesField(ct)
+	w.Raw(sig)
+	return w.Bytes()
+}
+
+// OpenVerified reverses SealSigned: verifies the signature with vk, then
+// decrypts with key. Either failure is reported as ErrVerify wrapped with
+// types.ErrTampered so clients surface a uniform integrity error.
+func OpenVerified(key sharocrypto.SymKey, vk sharocrypto.VerifyKey, aad, blob []byte) ([]byte, error) {
+	r := binenc.NewReader(blob)
+	ct, err := r.BytesField()
+	if err != nil {
+		return nil, tampered(err)
+	}
+	sig, err := r.Raw(sharocrypto.SigSize)
+	if err != nil {
+		return nil, tampered(err)
+	}
+	signed := make([]byte, 0, len(ct)+len(aad))
+	signed = append(signed, ct...)
+	signed = append(signed, aad...)
+	if err := vk.Verify(signed, sig); err != nil {
+		return nil, tampered(err)
+	}
+	pt, err := key.Open(ct, aad)
+	if err != nil {
+		return nil, tampered(err)
+	}
+	return pt, nil
+}
+
+func tampered(err error) error {
+	return fmt.Errorf("%w: %v (%v)", types.ErrTampered, ErrVerify, err)
+}
+
+// Seal produces the sealed form of the metadata object for one variant:
+// encrypted with that variant's MEK and signed with the object's MSK.
+func (m *Metadata) Seal(mek sharocrypto.SymKey, msk sharocrypto.SignKey, aad []byte) []byte {
+	return SealSigned(mek, msk, aad, m.Encode())
+}
+
+// OpenMetadata opens and verifies a sealed metadata object.
+func OpenMetadata(mek sharocrypto.SymKey, mvk sharocrypto.VerifyKey, aad, blob []byte) (*Metadata, error) {
+	pt, err := OpenVerified(mek, mvk, aad, blob)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(pt)
+}
+
+// SealSuperblock seals the superblock to a principal's public key. This is
+// the only public-key encryption on the ordinary access path, paid once at
+// mount (paper §III-C).
+func SealSuperblock(s *Superblock, pub sharocrypto.PublicKey) ([]byte, error) {
+	return pub.Seal(s.Encode())
+}
+
+// OpenSuperblock opens a sealed superblock with the principal's private key.
+func OpenSuperblock(priv sharocrypto.PrivateKey, blob []byte) (*Superblock, error) {
+	pt, err := priv.Open(blob)
+	if err != nil {
+		return nil, tampered(err)
+	}
+	return DecodeSuperblock(pt)
+}
+
+// SealSplitPointer seals a split pointer to a principal's public key.
+func SealSplitPointer(p *SplitPointer, pub sharocrypto.PublicKey) ([]byte, error) {
+	return pub.Seal(p.Encode())
+}
+
+// OpenSplitPointer opens a sealed split pointer.
+func OpenSplitPointer(priv sharocrypto.PrivateKey, blob []byte) (*SplitPointer, error) {
+	pt, err := priv.Open(blob)
+	if err != nil {
+		return nil, tampered(err)
+	}
+	return DecodeSplitPointer(pt)
+}
+
+// --- SSP storage keys and AADs ----------------------------------------------
+//
+// The SSP's hashtable is indexed by inode number plus variant identifier
+// (user hash for Scheme-1, CAP ID for Scheme-2), per paper §IV. AAD strings
+// bind each blob to its logical location so that a malicious SSP cannot
+// satisfy a request for one object with another validly-sealed object.
+
+// MetaKey is the storage key of a metadata variant.
+func MetaKey(ino types.Inode, variant string) string {
+	return "m/" + strconv.FormatUint(uint64(ino), 10) + "/" + variant
+}
+
+// TableKey is the storage key of a directory-table view.
+func TableKey(ino types.Inode, variant string) string {
+	return "t/" + strconv.FormatUint(uint64(ino), 10) + "/" + variant
+}
+
+// BlockKey is the storage key of a file data block.
+func BlockKey(ino types.Inode, gen uint64, idx uint32) string {
+	return "f/" + strconv.FormatUint(uint64(ino), 10) + "/" + strconv.FormatUint(gen, 10) +
+		"/" + strconv.FormatUint(uint64(idx), 10)
+}
+
+// BlockPrefix is the storage-key prefix of every block of one generation.
+func BlockPrefix(ino types.Inode, gen uint64) string {
+	return "f/" + strconv.FormatUint(uint64(ino), 10) + "/" + strconv.FormatUint(gen, 10) + "/"
+}
+
+// FilePrefix is the storage-key prefix of every data blob of a file.
+func FilePrefix(ino types.Inode) string {
+	return "f/" + strconv.FormatUint(uint64(ino), 10) + "/"
+}
+
+// ManifestKey is the storage key of a file manifest. Unlike blocks, the
+// manifest lives at a generation-independent key so that a stat can fetch
+// metadata and manifest in a single round trip; the generation is bound
+// into the AAD instead, so a manifest surviving from a previous generation
+// fails verification (stale-manifest replay across a re-keying is
+// detected).
+func ManifestKey(ino types.Inode) string {
+	return "f/" + strconv.FormatUint(uint64(ino), 10) + "/manifest"
+}
+
+// SuperKey is the storage key of a principal's sealed superblock.
+func SuperKey(fsid, principal string) string { return "sb/" + fsid + "/" + principal }
+
+// SplitKey is the storage key of a principal's split pointer for an inode.
+func SplitKey(ino types.Inode, principal string) string {
+	return "sp/" + strconv.FormatUint(uint64(ino), 10) + "/" + principal
+}
+
+// MetaAAD binds a sealed metadata blob to (inode, variant).
+func MetaAAD(ino types.Inode, variant string) []byte {
+	return []byte("meta|" + strconv.FormatUint(uint64(ino), 10) + "|" + variant)
+}
+
+// TableAAD binds a sealed table view to (inode, variant).
+func TableAAD(ino types.Inode, variant string) []byte {
+	return []byte("table|" + strconv.FormatUint(uint64(ino), 10) + "|" + variant)
+}
+
+// BlockAAD binds a sealed data block to (inode, generation, index).
+func BlockAAD(ino types.Inode, gen uint64, idx uint32) []byte {
+	return []byte("block|" + strconv.FormatUint(uint64(ino), 10) + "|" +
+		strconv.FormatUint(gen, 10) + "|" + strconv.FormatUint(uint64(idx), 10))
+}
+
+// ManifestAAD binds a sealed manifest to (inode, generation).
+func ManifestAAD(ino types.Inode, gen uint64) []byte {
+	return []byte("manifest|" + strconv.FormatUint(uint64(ino), 10) + "|" + strconv.FormatUint(gen, 10))
+}

@@ -1,0 +1,302 @@
+package migrate
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/sharoes/sharoes/internal/cap"
+	"github.com/sharoes/sharoes/internal/client"
+	"github.com/sharoes/sharoes/internal/keys"
+	"github.com/sharoes/sharoes/internal/layout"
+	"github.com/sharoes/sharoes/internal/ssp"
+	"github.com/sharoes/sharoes/internal/types"
+)
+
+var (
+	migOnce sync.Once
+	migReg  *keys.Registry
+	migUser map[types.UserID]*keys.User
+)
+
+func migFixture(t testing.TB) {
+	t.Helper()
+	migOnce.Do(func() {
+		migReg = keys.NewRegistry()
+		migUser = make(map[types.UserID]*keys.User)
+		for _, id := range []types.UserID{"alice", "bob", "carol", "dave"} {
+			u, err := keys.NewUser(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			migUser[id] = u
+			migReg.AddUser(id, u.Public())
+		}
+		g, err := keys.NewGroup("eng")
+		if err != nil {
+			t.Fatal(err)
+		}
+		migReg.AddGroup("eng", g.Priv.Public())
+		migReg.AddMember("eng", "alice")
+		migReg.AddMember("eng", "bob")
+	})
+}
+
+func mountAs(t *testing.T, store ssp.BlobStore, eng layout.Engine, id types.UserID) *client.Session {
+	t.Helper()
+	s, err := client.Mount(client.Config{Store: store, User: migUser[id], Registry: migReg,
+		Layout: eng, FSID: "migfs", CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestBootstrapAllUsersMount(t *testing.T) {
+	migFixture(t)
+	for _, scheme := range []string{"scheme1", "scheme2"} {
+		t.Run(scheme, func(t *testing.T) {
+			store := ssp.NewMemStore()
+			var eng layout.Engine = layout.NewScheme2(migReg)
+			if scheme == "scheme1" {
+				eng = layout.NewScheme1(migReg)
+			}
+			err := Bootstrap(Options{Store: store, Registry: migReg, Layout: eng,
+				FSID: "migfs", RootOwner: "alice", RootGroup: "eng"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, id := range []types.UserID{"alice", "bob", "carol"} {
+				s := mountAs(t, store, eng, id)
+				info, err := s.Stat("/")
+				if err != nil {
+					t.Fatalf("%s: %v", id, err)
+				}
+				if !info.IsDir() || info.Inode != types.RootInode {
+					t.Errorf("%s: root = %+v", id, info)
+				}
+			}
+		})
+	}
+}
+
+func testTree() Node {
+	return Dir("", "alice", "eng", 0o755,
+		Dir("src", "alice", "eng", 0o755,
+			File("main.go", "alice", "eng", 0o644, []byte("package main")),
+			File("secret.key", "alice", "eng", 0o600, []byte("hunter2")),
+		),
+		Dir("team", "alice", "eng", 0o770,
+			File("notes.md", "bob", "eng", 0o660, []byte("# notes")),
+		),
+		Dir("dropbox", "alice", "eng", 0o711,
+			File("inbox.txt", "alice", "eng", 0o644, bytes.Repeat([]byte("mail "), 100)),
+		),
+		File("README", "alice", "eng", 0o644, []byte("welcome")),
+	)
+}
+
+func TestMigrateTreeEquivalentSemantics(t *testing.T) {
+	migFixture(t)
+	store := ssp.NewMemStore()
+	eng := layout.NewScheme2(migReg)
+	st, err := MigrateTree(Options{Store: store, Registry: migReg, Layout: eng,
+		FSID: "migfs", RootOwner: "alice", RootGroup: "eng"}, testTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dirs != 4 || st.Files != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Objects == 0 || st.Bytes == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	alice := mountAs(t, store, eng, "alice")
+	bob := mountAs(t, store, eng, "bob")
+	carol := mountAs(t, store, eng, "carol")
+
+	// Contents survive the transition.
+	if got, err := alice.ReadFile("/src/main.go"); err != nil || string(got) != "package main" {
+		t.Errorf("main.go = %q, %v", got, err)
+	}
+	if got, err := carol.ReadFile("/README"); err != nil || string(got) != "welcome" {
+		t.Errorf("README = %q, %v", got, err)
+	}
+	// Permissions carry over with equivalent semantics.
+	if _, err := carol.ReadFile("/src/secret.key"); !errors.Is(err, types.ErrPermission) {
+		t.Errorf("carol secret.key: %v", err)
+	}
+	if _, err := bob.ReadFile("/src/secret.key"); !errors.Is(err, types.ErrPermission) {
+		t.Errorf("bob secret.key: %v", err)
+	}
+	if got, err := bob.ReadFile("/team/notes.md"); err != nil || string(got) != "# notes" {
+		t.Errorf("bob notes = %q, %v", got, err)
+	}
+	if _, err := carol.ReadDir("/team"); !errors.Is(err, types.ErrPermission) {
+		t.Errorf("carol /team ls: %v", err)
+	}
+	// Exec-only dropbox: carol reads a known name but cannot list.
+	if _, err := carol.ReadDir("/dropbox"); !errors.Is(err, types.ErrPermission) {
+		t.Errorf("carol dropbox ls: %v", err)
+	}
+	if got, err := carol.ReadFile("/dropbox/inbox.txt"); err != nil || len(got) != 500 {
+		t.Errorf("carol inbox = %d bytes, %v", len(got), err)
+	}
+	// The migrated tree is fully writable through the client.
+	if err := bob.WriteFile("/team/notes.md", []byte("# updated"), 0); err != nil {
+		t.Errorf("bob update: %v", err)
+	}
+	if err := alice.Mkdir("/src/pkg", 0o755); err != nil {
+		t.Errorf("alice extend tree: %v", err)
+	}
+}
+
+func TestMigrateTreeRejectsBadNodes(t *testing.T) {
+	migFixture(t)
+	store := ssp.NewMemStore()
+	eng := layout.NewScheme2(migReg)
+	opts := Options{Store: store, Registry: migReg, Layout: eng, FSID: "x", RootOwner: "alice"}
+
+	_, err := MigrateTree(opts, Dir("", "alice", "", 0o755,
+		File("a", "alice", "", 0o644, nil),
+		File("a", "alice", "", 0o644, nil)))
+	if err == nil {
+		t.Error("duplicate names accepted")
+	}
+	_, err = MigrateTree(opts, Dir("", "alice", "", 0o755,
+		File("w", "alice", "", 0o200, nil)))
+	if !errors.Is(err, types.ErrUnsupportedPerm) {
+		t.Errorf("write-only file: %v", err)
+	}
+	if _, err := MigrateTree(Options{}, Node{}); err == nil {
+		t.Error("incomplete options accepted")
+	}
+}
+
+func TestSanitizePerm(t *testing.T) {
+	cases := []struct {
+		kind types.ObjKind
+		in   string
+		want string
+	}{
+		{types.KindDir, "755", "755"},
+		{types.KindDir, "753", "751"}, // other -wx → --x
+		{types.KindDir, "733", "711"},
+		{types.KindFile, "644", "644"},
+		{types.KindFile, "642", "640"}, // other -w- → ---
+		{types.KindFile, "621", "600"}, // group -w-, other --x → ---
+		{types.KindFile, "200", "000"}, // owner write-only: unenforceable
+	}
+	for _, c := range cases {
+		in, _ := types.ParsePerm(c.in)
+		want, _ := types.ParsePerm(c.want)
+		if got := SanitizePerm(c.kind, in); got != want {
+			t.Errorf("SanitizePerm(%v, %s) = %s, want %s", c.kind, c.in, got, want)
+		}
+	}
+	// Every sanitized permission is valid by construction.
+	for p := types.Perm(0); p <= types.PermMask; p++ {
+		for _, kind := range []types.ObjKind{types.KindFile, types.KindDir} {
+			if err := validateAll(kind, SanitizePerm(kind, p)); err != nil {
+				t.Fatalf("SanitizePerm(%v, %s) still invalid: %v", kind, p, err)
+			}
+		}
+	}
+}
+
+func validateAll(kind types.ObjKind, p types.Perm) error {
+	return cap.ValidatePerm(kind, p)
+}
+
+func TestFromLocalDir(t *testing.T) {
+	migFixture(t)
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "docs"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "docs", "a.txt"), []byte("local content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "top.bin"), bytes.Repeat([]byte{7}, 1000), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Symlink("a.txt", filepath.Join(root, "docs", "link")); err == nil {
+		// Symlinks are skipped, not migrated.
+		_ = err
+	}
+
+	node, err := FromLocalDir(root, "alice", "eng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := ssp.NewMemStore()
+	eng := layout.NewScheme2(migReg)
+	st, err := MigrateTree(Options{Store: store, Registry: migReg, Layout: eng,
+		FSID: "migfs", RootOwner: "alice", RootGroup: "eng"}, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Files != 2 {
+		t.Errorf("files = %d", st.Files)
+	}
+
+	alice := mountAs(t, store, eng, "alice")
+	if got, err := alice.ReadFile("/docs/a.txt"); err != nil || string(got) != "local content" {
+		t.Errorf("a.txt = %q, %v", got, err)
+	}
+	if got, err := alice.ReadFile("/top.bin"); err != nil || len(got) != 1000 {
+		t.Errorf("top.bin = %d bytes, %v", len(got), err)
+	}
+	carol := mountAs(t, store, eng, "carol")
+	if _, err := carol.ReadFile("/top.bin"); !errors.Is(err, types.ErrPermission) {
+		t.Errorf("carol top.bin (0600): %v", err)
+	}
+
+	if _, err := FromLocalDir(filepath.Join(root, "top.bin"), "alice", "eng"); !errors.Is(err, types.ErrNotDir) {
+		t.Errorf("FromLocalDir on file: %v", err)
+	}
+	if _, err := FromLocalDir(filepath.Join(root, "missing"), "alice", "eng"); err == nil {
+		t.Error("FromLocalDir on missing dir succeeded")
+	}
+}
+
+func TestSplitPointStats(t *testing.T) {
+	migFixture(t)
+	store := ssp.NewMemStore()
+	eng := layout.NewScheme2(migReg)
+	// /home style tree: carol and dave both travel the "t" variant of
+	// /home, but carol owns /home/carol while dave is other there → split.
+	tree := Dir("", "alice", "eng", 0o755,
+		Dir("home", "alice", "eng", 0o755,
+			Dir("bob", "bob", "", 0o700,
+				File("private", "bob", "", 0o600, []byte("bob's"))),
+			Dir("carol", "carol", "", 0o700,
+				File("private", "carol", "", 0o600, []byte("carol's"))),
+		),
+	)
+	st, err := MigrateTree(Options{Store: store, Registry: migReg, Layout: eng,
+		FSID: "migfs", RootOwner: "alice", RootGroup: "eng"}, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SplitPoints == 0 {
+		t.Error("expected split points in a /home-style tree")
+	}
+	// Users reach their own homes and are excluded from others'.
+	bob := mountAs(t, store, eng, "bob")
+	if got, err := bob.ReadFile("/home/bob/private"); err != nil || string(got) != "bob's" {
+		t.Errorf("bob home read = %q, %v", got, err)
+	}
+	if _, err := bob.ReadFile("/home/carol/private"); !errors.Is(err, types.ErrPermission) {
+		t.Errorf("bob in carol's home: %v", err)
+	}
+	carol := mountAs(t, store, eng, "carol")
+	if got, err := carol.ReadFile("/home/carol/private"); err != nil || string(got) != "carol's" {
+		t.Errorf("carol home read = %q, %v", got, err)
+	}
+}

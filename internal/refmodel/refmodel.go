@@ -1,0 +1,436 @@
+// Package refmodel implements a plain, in-memory *nix filesystem with the
+// access-control semantics that Sharoes replicates cryptographically. It
+// is the oracle for model-based testing: random operation sequences are
+// applied both to a Sharoes client and to this model, and every result —
+// content, listings, attributes and error classes — must agree.
+//
+// The model deliberately encodes the documented deviations of the CAP
+// system from stock POSIX (all are restrictions, never relaxations):
+//
+//   - unsupported permission settings (dir -wx; file -w-/-wx/--x) are
+//     rejected at chmod/create time;
+//   - removing a directory requires the caller to be able to decrypt its
+//     table (list or traverse capability) to prove emptiness;
+//   - chown requires write permission on the parent directory (except on
+//     the root) and is owner-initiated;
+//   - cross-ownership-domain renames require ownership of the object.
+package refmodel
+
+import (
+	"sort"
+	"time"
+
+	"github.com/sharoes/sharoes/internal/cap"
+	"github.com/sharoes/sharoes/internal/types"
+	"github.com/sharoes/sharoes/internal/vfs"
+)
+
+// Memberships maps groups to their members.
+type Memberships map[types.GroupID]map[types.UserID]bool
+
+// AddMember adds u to g.
+func (m Memberships) AddMember(g types.GroupID, u types.UserID) {
+	if m[g] == nil {
+		m[g] = make(map[types.UserID]bool)
+	}
+	m[g][u] = true
+}
+
+// node is one filesystem object.
+type node struct {
+	kind     types.ObjKind
+	owner    types.UserID
+	group    types.GroupID
+	perm     types.Perm
+	acl      map[types.UserID]types.Triplet
+	data     []byte
+	children map[string]*node
+	mtime    time.Time
+	inode    types.Inode
+}
+
+// Model is the whole filesystem.
+type Model struct {
+	members Memberships
+	root    *node
+	nextIno types.Inode
+}
+
+// New creates a model with the given root ownership.
+func New(owner types.UserID, group types.GroupID, perm types.Perm, members Memberships) *Model {
+	if members == nil {
+		members = Memberships{}
+	}
+	return &Model{
+		members: members,
+		root: &node{kind: types.KindDir, owner: owner, group: group, perm: perm,
+			children: map[string]*node{}, inode: types.RootInode},
+		nextIno: types.RootInode + 1,
+	}
+}
+
+func (m *Model) classOf(u types.UserID, n *node) types.Class {
+	if u == n.owner {
+		return types.ClassOwner
+	}
+	if m.members[n.group][u] {
+		return types.ClassGroup
+	}
+	return types.ClassOther
+}
+
+func (m *Model) triplet(u types.UserID, n *node) types.Triplet {
+	if u != n.owner {
+		if t, ok := n.acl[u]; ok {
+			return t
+		}
+	}
+	return n.perm.TripletFor(m.classOf(u, n))
+}
+
+// resolve walks to path, checking exec on every traversed directory.
+func (m *Model) resolve(u types.UserID, path string) (*node, error) {
+	comps, err := types.PathComponents(path)
+	if err != nil {
+		return nil, err
+	}
+	cur := m.root
+	for _, c := range comps {
+		if cur.kind != types.KindDir {
+			return nil, types.ErrNotDir
+		}
+		if !m.triplet(u, cur).CanExec() {
+			return nil, types.ErrPermission
+		}
+		next, ok := cur.children[c]
+		if !ok {
+			return nil, types.ErrNotExist
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func (m *Model) resolveParent(u types.UserID, path string) (*node, string, error) {
+	dir, base, err := types.SplitPath(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if base == "" {
+		return nil, "", types.ErrInvalidPath
+	}
+	p, err := m.resolve(u, dir)
+	if err != nil {
+		return nil, "", err
+	}
+	if p.kind != types.KindDir {
+		return nil, "", types.ErrNotDir
+	}
+	return p, base, nil
+}
+
+func (m *Model) requireDirWriter(u types.UserID, d *node) error {
+	t := m.triplet(u, d)
+	if !t.CanWrite() || !t.CanExec() {
+		return types.ErrPermission
+	}
+	return nil
+}
+
+// Stat mirrors vfs.FS.Stat for user u.
+func (m *Model) Stat(u types.UserID, path string) (vfs.Info, error) {
+	n, err := m.resolve(u, path)
+	if err != nil {
+		return vfs.Info{}, err
+	}
+	_, base, _ := types.SplitPath(path)
+	return vfs.Info{
+		Name: base, Inode: n.inode, Kind: n.kind, Owner: n.owner, Group: n.group,
+		Perm: n.perm, Size: uint64(len(n.data)), MTime: n.mtime,
+	}, nil
+}
+
+// Mkdir mirrors vfs.FS.Mkdir.
+func (m *Model) Mkdir(u types.UserID, path string, perm types.Perm) error {
+	return m.create(u, path, perm, types.KindDir, nil)
+}
+
+// Create mirrors vfs.FS.Create.
+func (m *Model) Create(u types.UserID, path string, perm types.Perm) error {
+	return m.create(u, path, perm, types.KindFile, []byte{})
+}
+
+func (m *Model) create(u types.UserID, path string, perm types.Perm, kind types.ObjKind, data []byte) error {
+	if err := cap.ValidatePerm(kind, perm); err != nil {
+		return err
+	}
+	p, base, err := m.resolveParent(u, path)
+	if err != nil {
+		return err
+	}
+	if err := m.requireDirWriter(u, p); err != nil {
+		return err
+	}
+	if _, ok := p.children[base]; ok {
+		return types.ErrExist
+	}
+	n := &node{kind: kind, owner: u, group: p.group, perm: perm, data: data, mtime: time.Now(), inode: m.nextIno}
+	m.nextIno++
+	if kind == types.KindDir {
+		n.children = map[string]*node{}
+	}
+	p.children[base] = n
+	return nil
+}
+
+// WriteFile mirrors vfs.FS.WriteFile.
+func (m *Model) WriteFile(u types.UserID, path string, data []byte, perm types.Perm) error {
+	n, err := m.resolve(u, path)
+	if err == nil {
+		if n.kind != types.KindFile {
+			return types.ErrIsDir
+		}
+		if !m.triplet(u, n).CanWrite() {
+			return types.ErrPermission
+		}
+		n.data = append([]byte(nil), data...)
+		n.mtime = time.Now()
+		return nil
+	}
+	if err == types.ErrNotExist || err == types.ErrNotDir {
+		if err == types.ErrNotDir {
+			return err
+		}
+		return m.create(u, path, perm, types.KindFile, append([]byte(nil), data...))
+	}
+	return err
+}
+
+// Append mirrors vfs.FS.Append.
+func (m *Model) Append(u types.UserID, path string, data []byte) error {
+	n, err := m.resolve(u, path)
+	if err != nil {
+		return err
+	}
+	if n.kind != types.KindFile {
+		return types.ErrIsDir
+	}
+	if !m.triplet(u, n).CanWrite() {
+		return types.ErrPermission
+	}
+	n.data = append(n.data, data...)
+	n.mtime = time.Now()
+	return nil
+}
+
+// ReadFile mirrors vfs.FS.ReadFile.
+func (m *Model) ReadFile(u types.UserID, path string) ([]byte, error) {
+	n, err := m.resolve(u, path)
+	if err != nil {
+		return nil, err
+	}
+	if n.kind != types.KindFile {
+		return nil, types.ErrIsDir
+	}
+	if !m.triplet(u, n).CanRead() {
+		return nil, types.ErrPermission
+	}
+	return append([]byte(nil), n.data...), nil
+}
+
+// ReadDir mirrors vfs.FS.ReadDir.
+func (m *Model) ReadDir(u types.UserID, path string) ([]string, error) {
+	n, err := m.resolve(u, path)
+	if err != nil {
+		return nil, err
+	}
+	if n.kind != types.KindDir {
+		return nil, types.ErrNotDir
+	}
+	if !m.triplet(u, n).CanRead() {
+		return nil, types.ErrPermission
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Chmod mirrors vfs.FS.Chmod (owner only).
+func (m *Model) Chmod(u types.UserID, path string, perm types.Perm) error {
+	n, err := m.resolve(u, path)
+	if err != nil {
+		return err
+	}
+	if n.owner != u {
+		return types.ErrPermission
+	}
+	if err := cap.ValidatePerm(n.kind, perm); err != nil {
+		return err
+	}
+	n.perm = perm
+	return nil
+}
+
+// Chown mirrors vfs.FS.Chown: owner-initiated, and (except for the root)
+// requires write permission on the parent, matching the Sharoes client's
+// documented restriction.
+func (m *Model) Chown(u types.UserID, path string, owner types.UserID, group types.GroupID) error {
+	n, err := m.resolve(u, path)
+	if err != nil {
+		return err
+	}
+	if n.owner != u {
+		return types.ErrPermission
+	}
+	if n != m.root {
+		p, _, err := m.resolveParent(u, path)
+		if err != nil {
+			return err
+		}
+		if err := m.requireDirWriter(u, p); err != nil {
+			return err
+		}
+	}
+	if owner != "" {
+		n.owner = owner
+	}
+	if group != "" {
+		n.group = group
+	}
+	return nil
+}
+
+// Remove mirrors vfs.FS.Remove, including the emptiness-proof rule: the
+// caller must be able to read the child directory's table.
+func (m *Model) Remove(u types.UserID, path string) error {
+	p, base, err := m.resolveParent(u, path)
+	if err != nil {
+		return err
+	}
+	if err := m.requireDirWriter(u, p); err != nil {
+		return err
+	}
+	n, err := m.resolve(u, path)
+	if err != nil {
+		return err
+	}
+	if n.kind == types.KindDir {
+		// Equivalent of holding the table DEK: a non-zero directory CAP.
+		c, _ := cap.ForDir(m.triplet(u, n))
+		if !c.CanList() && !c.CanTraverse() {
+			return types.ErrPermission
+		}
+		if len(n.children) > 0 {
+			return types.ErrNotEmpty
+		}
+	}
+	delete(p.children, base)
+	return nil
+}
+
+// Rename mirrors vfs.FS.Rename.
+func (m *Model) Rename(u types.UserID, oldPath, newPath string) error {
+	op, oldBase, err := m.resolveParent(u, oldPath)
+	if err != nil {
+		return err
+	}
+	np, newBase, err := m.resolveParent(u, newPath)
+	if err != nil {
+		return err
+	}
+	if err := m.requireDirWriter(u, op); err != nil {
+		return err
+	}
+	if op != np {
+		if err := m.requireDirWriter(u, np); err != nil {
+			return err
+		}
+	}
+	n, ok := op.children[oldBase]
+	if !ok {
+		return types.ErrNotExist
+	}
+	if _, ok := np.children[newBase]; ok {
+		return types.ErrExist
+	}
+	sameDomain := op == np || (op.owner == np.owner && op.group == np.group)
+	if !sameDomain && n.owner != u {
+		return types.ErrPermission
+	}
+	delete(op.children, oldBase)
+	np.children[newBase] = n
+	return nil
+}
+
+// SetACL mirrors the client's ACL grant: owner-only, not on the owner,
+// valid triplet, and (except on the root) write permission on the parent.
+func (m *Model) SetACL(u types.UserID, path string, user types.UserID, rights types.Triplet) error {
+	n, err := m.resolve(u, path)
+	if err != nil {
+		return err
+	}
+	if n.owner != u {
+		return types.ErrPermission
+	}
+	if user == n.owner {
+		return types.ErrUnsupportedPerm
+	}
+	if _, err := cap.For(n.kind, rights); err != nil {
+		return err
+	}
+	if err := m.requireParentWrite(u, path, n); err != nil {
+		return err
+	}
+	if n.acl == nil {
+		n.acl = map[types.UserID]types.Triplet{}
+	}
+	n.acl[user] = rights
+	return nil
+}
+
+// RemoveACL mirrors the client's ACL revocation.
+func (m *Model) RemoveACL(u types.UserID, path string, user types.UserID) error {
+	n, err := m.resolve(u, path)
+	if err != nil {
+		return err
+	}
+	if n.owner != u {
+		return types.ErrPermission
+	}
+	if user == n.owner {
+		return types.ErrUnsupportedPerm
+	}
+	if _, ok := n.acl[user]; !ok {
+		return types.ErrNotExist
+	}
+	if err := m.requireParentWrite(u, path, n); err != nil {
+		return err
+	}
+	delete(n.acl, user)
+	return nil
+}
+
+func (m *Model) requireParentWrite(u types.UserID, path string, n *node) error {
+	if n == m.root {
+		return nil
+	}
+	p, _, err := m.resolveParent(u, path)
+	if err != nil {
+		return err
+	}
+	return m.requireDirWriter(u, p)
+}
+
+// CanRead reports whether u could read the object's content — including
+// ACL effects. Tests use it to know when content-bearing fields (size)
+// must agree between implementations.
+func (m *Model) CanRead(u types.UserID, path string) bool {
+	n, err := m.resolve(u, path)
+	if err != nil {
+		return false
+	}
+	return m.triplet(u, n).CanRead()
+}

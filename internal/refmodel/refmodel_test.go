@@ -1,0 +1,187 @@
+package refmodel
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/sharoes/sharoes/internal/types"
+)
+
+func testModel() *Model {
+	members := Memberships{}
+	members.AddMember("eng", "alice")
+	members.AddMember("eng", "bob")
+	return New("alice", "eng", 0o755, members)
+}
+
+func TestModelBasics(t *testing.T) {
+	m := testModel()
+	if err := m.Mkdir("alice", "/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteFile("alice", "/d/f", []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadFile("bob", "/d/f")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	names, err := m.ReadDir("carol", "/d")
+	if err != nil || !reflect.DeepEqual(names, []string{"f"}) {
+		t.Fatalf("readdir = %v, %v", names, err)
+	}
+	info, err := m.Stat("carol", "/d/f")
+	if err != nil || info.Size != 5 || info.Owner != "alice" {
+		t.Fatalf("stat = %+v, %v", info, err)
+	}
+	if err := m.Append("alice", "/d/f", []byte("!")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.ReadFile("alice", "/d/f"); string(got) != "hello!" {
+		t.Errorf("after append: %q", got)
+	}
+}
+
+func TestModelPermissions(t *testing.T) {
+	m := testModel()
+	if err := m.WriteFile("alice", "/secret", []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadFile("carol", "/secret"); !errors.Is(err, types.ErrPermission) {
+		t.Errorf("carol read: %v", err)
+	}
+	if err := m.Chmod("carol", "/secret", 0o644); !errors.Is(err, types.ErrPermission) {
+		t.Errorf("carol chmod: %v", err)
+	}
+	if err := m.Chmod("alice", "/secret", 0o642); !errors.Is(err, types.ErrUnsupportedPerm) {
+		t.Errorf("unsupported chmod: %v", err)
+	}
+	// Exec-only directory.
+	if err := m.Mkdir("alice", "/dropbox", 0o711); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteFile("alice", "/dropbox/known", []byte("k"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadDir("carol", "/dropbox"); !errors.Is(err, types.ErrPermission) {
+		t.Errorf("exec-only ls: %v", err)
+	}
+	if got, err := m.ReadFile("carol", "/dropbox/known"); err != nil || string(got) != "k" {
+		t.Errorf("exec-only read by name: %q, %v", got, err)
+	}
+}
+
+func TestModelRemoveRules(t *testing.T) {
+	m := testModel()
+	if err := m.Mkdir("alice", "/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteFile("alice", "/d/f", nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("alice", "/d"); !errors.Is(err, types.ErrNotEmpty) {
+		t.Errorf("non-empty: %v", err)
+	}
+	if err := m.Remove("alice", "/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("alice", "/d"); err != nil {
+		t.Fatal(err)
+	}
+	// Emptiness-proof rule: a writer on the parent who has zero CAP on
+	// the child directory cannot remove it.
+	if err := m.Mkdir("alice", "/opaque", 0o700); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Chown("alice", "/opaque", "carol", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Chmod("carol", "/opaque", 0o700); err != nil {
+		t.Fatal(err)
+	}
+	// alice owns "/" (write) but has no CAP on /opaque.
+	if err := m.Remove("alice", "/opaque"); !errors.Is(err, types.ErrPermission) {
+		t.Errorf("opaque remove: %v", err)
+	}
+}
+
+func TestModelChownRules(t *testing.T) {
+	m := testModel()
+	if err := m.WriteFile("alice", "/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Chown("bob", "/f", "bob", ""); !errors.Is(err, types.ErrPermission) {
+		t.Errorf("non-owner chown: %v", err)
+	}
+	if err := m.Chown("alice", "/f", "bob", "eng"); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := m.Stat("alice", "/f")
+	if info.Owner != "bob" || info.Group != "eng" {
+		t.Errorf("after chown: %+v", info)
+	}
+	// Root chown has no parent-write requirement.
+	if err := m.Chown("alice", "/", "bob", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelRenameRules(t *testing.T) {
+	m := testModel()
+	if err := m.Mkdir("alice", "/a", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteFile("alice", "/a/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Rename("alice", "/a/f", "/a/g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadFile("alice", "/a/f"); !errors.Is(err, types.ErrNotExist) {
+		t.Errorf("old name: %v", err)
+	}
+	if err := m.WriteFile("alice", "/a/h", []byte("y"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Rename("alice", "/a/h", "/a/g"); !errors.Is(err, types.ErrExist) {
+		t.Errorf("collision: %v", err)
+	}
+}
+
+func TestModelACL(t *testing.T) {
+	m := testModel()
+	if err := m.WriteFile("alice", "/f", []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadFile("carol", "/f"); !errors.Is(err, types.ErrPermission) {
+		t.Fatal("carol could read before grant")
+	}
+	if err := m.SetACL("carol", "/f", "carol", types.TripletRead); !errors.Is(err, types.ErrPermission) {
+		t.Errorf("non-owner setacl: %v", err)
+	}
+	if err := m.SetACL("alice", "/f", "alice", types.TripletRead); !errors.Is(err, types.ErrUnsupportedPerm) {
+		t.Errorf("owner self-grant: %v", err)
+	}
+	if err := m.SetACL("alice", "/f", "carol", types.TripletWrite); !errors.Is(err, types.ErrUnsupportedPerm) {
+		t.Errorf("write-only grant: %v", err)
+	}
+	if err := m.SetACL("alice", "/f", "carol", types.TripletRead); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := m.ReadFile("carol", "/f"); err != nil || string(got) != "x" {
+		t.Errorf("carol after grant = %q, %v", got, err)
+	}
+	if !m.CanRead("carol", "/f") || m.CanRead("bob", "/f") {
+		t.Error("CanRead disagrees with ACL state")
+	}
+	if err := m.RemoveACL("alice", "/f", "bob"); !errors.Is(err, types.ErrNotExist) {
+		t.Errorf("remove absent: %v", err)
+	}
+	if err := m.RemoveACL("alice", "/f", "carol"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadFile("carol", "/f"); !errors.Is(err, types.ErrPermission) {
+		t.Error("carol still reads after revoke")
+	}
+}

@@ -1,0 +1,141 @@
+package ssp
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/sharoes/sharoes/internal/stats"
+	"github.com/sharoes/sharoes/internal/wire"
+)
+
+// Dialer opens a connection to an SSP. netsim.Listener.Dial and closures
+// over net.Dial both satisfy it.
+type Dialer func() (net.Conn, error)
+
+// Client is a remote BlobStore speaking the wire protocol over a single
+// connection. All time spent on the wire is charged to the NETWORK
+// component of the attached recorder, which is how Figure 13's breakdown
+// is measured.
+type Client struct {
+	mu    sync.Mutex
+	codec *wire.Codec
+	rec   *stats.Recorder
+}
+
+var _ BlobStore = (*Client)(nil)
+
+// Dial connects to an SSP. rec may be nil.
+func Dial(dial Dialer, rec *stats.Recorder) (*Client, error) {
+	conn, err := dial()
+	if err != nil {
+		return nil, fmt.Errorf("ssp: dial: %w", err)
+	}
+	return &Client{codec: wire.NewCodec(conn), rec: rec}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.codec.Close()
+}
+
+// call performs one round trip, charging the wait to NETWORK.
+func (c *Client) call(req *wire.Request) (*wire.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	outBefore, inBefore := c.codec.BytesOut, c.codec.BytesIn
+	stop := c.rec.Time(stats.Network)
+	resp, err := c.codec.Call(req)
+	stop()
+	c.rec.AddBytes(int(c.codec.BytesOut-outBefore), int(c.codec.BytesIn-inBefore))
+	if err != nil {
+		return nil, fmt.Errorf("ssp: %s: %w", req.Op, err)
+	}
+	return resp, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	resp, err := c.call(&wire.Request{Op: wire.OpPing})
+	if err != nil {
+		return err
+	}
+	return resp.AsError()
+}
+
+// Get implements BlobStore.
+func (c *Client) Get(ns wire.NS, key string) ([]byte, error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpGet, NS: ns, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.AsError(); err != nil {
+		return nil, err
+	}
+	return resp.Val, nil
+}
+
+// Put implements BlobStore.
+func (c *Client) Put(ns wire.NS, key string, val []byte) error {
+	resp, err := c.call(&wire.Request{Op: wire.OpPut, NS: ns, Key: key, Val: val})
+	if err != nil {
+		return err
+	}
+	return resp.AsError()
+}
+
+// Delete implements BlobStore.
+func (c *Client) Delete(ns wire.NS, key string) error {
+	resp, err := c.call(&wire.Request{Op: wire.OpDelete, NS: ns, Key: key})
+	if err != nil {
+		return err
+	}
+	return resp.AsError()
+}
+
+// List implements BlobStore.
+func (c *Client) List(ns wire.NS, prefix string) ([]wire.KV, error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpList, NS: ns, Prefix: prefix})
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.AsError(); err != nil {
+		return nil, err
+	}
+	return resp.Items, nil
+}
+
+// BatchGet implements BlobStore.
+func (c *Client) BatchGet(items []wire.KV) ([]wire.KV, error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpBatchGet, Items: items})
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.AsError(); err != nil {
+		return nil, err
+	}
+	return resp.Items, nil
+}
+
+// BatchPut implements BlobStore.
+func (c *Client) BatchPut(items []wire.KV) error {
+	resp, err := c.call(&wire.Request{Op: wire.OpBatchPut, Items: items})
+	if err != nil {
+		return err
+	}
+	return resp.AsError()
+}
+
+// Stats implements BlobStore.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return Stats{}, err
+	}
+	if err := resp.AsError(); err != nil {
+		return Stats{}, err
+	}
+	return decodeStats(resp.Items)
+}

@@ -1,0 +1,198 @@
+package ssp
+
+import (
+	"strings"
+	"sync"
+
+	"github.com/sharoes/sharoes/internal/wire"
+)
+
+// FaultMode selects a malicious-SSP behaviour.
+type FaultMode uint8
+
+// Fault modes. The paper's threat model (§VII) trusts the SSP to store and
+// retrieve but not with confidentiality or access control; clients must
+// detect tampering via signatures. These modes exercise those paths.
+const (
+	// FaultTamper flips bytes in matching blobs before serving them.
+	FaultTamper FaultMode = iota + 1
+	// FaultRollback serves the first version ever stored for matching
+	// keys, modelling a replay of stale (but once-valid) state.
+	FaultRollback
+	// FaultDrop pretends matching keys do not exist.
+	FaultDrop
+	// FaultSwap serves the blob stored under a different key of the same
+	// namespace, modelling object substitution.
+	FaultSwap
+)
+
+// FaultRule matches blobs by namespace and key substring.
+type FaultRule struct {
+	Mode    FaultMode
+	NS      wire.NS
+	KeyPart string // substring of key; empty matches every key in NS
+	SwapKey string // FaultSwap: serve this key's value instead
+}
+
+// FaultStore wraps a BlobStore with a malicious read path. Writes pass
+// through unchanged (the SSP has no reason to corrupt its own hashtable;
+// the attack surface the paper cares about is what clients are served).
+type FaultStore struct {
+	Inner BlobStore
+
+	mu      sync.Mutex
+	rules   []FaultRule
+	history map[string][]byte // first version per ns/key, for rollback
+	// Triggered counts how many reads were maliciously altered.
+	triggered int
+}
+
+// NewFaultStore wraps inner.
+func NewFaultStore(inner BlobStore) *FaultStore {
+	return &FaultStore{Inner: inner, history: make(map[string][]byte)}
+}
+
+// AddRule arms a fault rule.
+func (s *FaultStore) AddRule(r FaultRule) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules = append(s.rules, r)
+}
+
+// ClearRules disarms all rules.
+func (s *FaultStore) ClearRules() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules = nil
+}
+
+// Triggered reports how many reads were altered.
+func (s *FaultStore) Triggered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.triggered
+}
+
+func histKey(ns wire.NS, key string) string { return string(rune(ns)) + "/" + key }
+
+func (s *FaultStore) match(ns wire.NS, key string) *FaultRule {
+	for i := range s.rules {
+		r := &s.rules[i]
+		if r.NS == ns && (r.KeyPart == "" || strings.Contains(key, r.KeyPart)) {
+			return r
+		}
+	}
+	return nil
+}
+
+// Get implements BlobStore, applying any matching fault.
+func (s *FaultStore) Get(ns wire.NS, key string) ([]byte, error) {
+	s.mu.Lock()
+	rule := s.match(ns, key)
+	var rollback []byte
+	if rule != nil && rule.Mode == FaultRollback {
+		rollback = s.history[histKey(ns, key)]
+	}
+	if rule != nil {
+		s.triggered++
+	}
+	s.mu.Unlock()
+
+	if rule == nil {
+		return s.Inner.Get(ns, key)
+	}
+	switch rule.Mode {
+	case FaultDrop:
+		return nil, wire.ErrNotFound
+	case FaultRollback:
+		if rollback != nil {
+			out := make([]byte, len(rollback))
+			copy(out, rollback)
+			return out, nil
+		}
+		return s.Inner.Get(ns, key)
+	case FaultSwap:
+		return s.Inner.Get(ns, rule.SwapKey)
+	default: // FaultTamper
+		val, err := s.Inner.Get(ns, key)
+		if err != nil {
+			return nil, err
+		}
+		if len(val) > 0 {
+			val[len(val)/2] ^= 0x55
+		}
+		return val, nil
+	}
+}
+
+// Put implements BlobStore, recording first versions for rollback.
+func (s *FaultStore) Put(ns wire.NS, key string, val []byte) error {
+	s.mu.Lock()
+	hk := histKey(ns, key)
+	if _, ok := s.history[hk]; !ok {
+		cp := make([]byte, len(val))
+		copy(cp, val)
+		s.history[hk] = cp
+	}
+	s.mu.Unlock()
+	return s.Inner.Put(ns, key, val)
+}
+
+// Delete implements BlobStore.
+func (s *FaultStore) Delete(ns wire.NS, key string) error { return s.Inner.Delete(ns, key) }
+
+// List implements BlobStore. Fault rules are applied per returned item.
+func (s *FaultStore) List(ns wire.NS, prefix string) ([]wire.KV, error) {
+	items, err := s.Inner.List(ns, prefix)
+	if err != nil {
+		return nil, err
+	}
+	out := items[:0]
+	for _, it := range items {
+		v, err := s.Get(it.NS, it.Key)
+		if err == wire.ErrNotFound {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		it.Val = v
+		out = append(out, it)
+	}
+	return out, nil
+}
+
+// BatchGet implements BlobStore via the faulting Get.
+func (s *FaultStore) BatchGet(items []wire.KV) ([]wire.KV, error) {
+	out := make([]wire.KV, 0, len(items))
+	for _, it := range items {
+		v, err := s.Get(it.NS, it.Key)
+		if err == wire.ErrNotFound {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, wire.KV{NS: it.NS, Key: it.Key, Val: v})
+	}
+	return out, nil
+}
+
+// BatchPut implements BlobStore via the history-recording Put.
+func (s *FaultStore) BatchPut(items []wire.KV) error {
+	for _, it := range items {
+		if it.Delete {
+			if err := s.Delete(it.NS, it.Key); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := s.Put(it.NS, it.Key, it.Val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats implements BlobStore.
+func (s *FaultStore) Stats() (Stats, error) { return s.Inner.Stats() }

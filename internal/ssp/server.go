@@ -1,0 +1,208 @@
+package ssp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strconv"
+	"sync"
+
+	"github.com/sharoes/sharoes/internal/wire"
+)
+
+// Server serves a BlobStore over the wire protocol. One goroutine per
+// connection; the store provides its own synchronization.
+type Server struct {
+	store BlobStore
+	log   *log.Logger
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// NewServer creates a server over store. logger may be nil to disable
+// logging.
+func NewServer(store BlobStore, logger *log.Logger) *Server {
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &Server{
+		store:     store,
+		log:       logger,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts connections on l until the listener fails or the server is
+// closed. It blocks; run it in a goroutine.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("ssp: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops accepting, closes every live connection and waits for
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	codec := wire.NewCodec(conn)
+	for {
+		req, err := codec.ReadRequest()
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.log.Printf("ssp: read request: %v", err)
+			}
+			return
+		}
+		resp := s.apply(req)
+		if err := codec.SendResponse(resp); err != nil {
+			s.log.Printf("ssp: send response: %v", err)
+			return
+		}
+	}
+}
+
+// apply executes one request against the store. The SSP trusts nothing and
+// checks nothing beyond well-formedness: access control is cryptographic
+// and happens entirely at clients.
+func (s *Server) apply(req *wire.Request) *wire.Response {
+	switch req.Op {
+	case wire.OpPing:
+		return &wire.Response{Status: wire.StatusOK}
+	case wire.OpGet:
+		val, err := s.store.Get(req.NS, req.Key)
+		if err == wire.ErrNotFound {
+			return &wire.Response{Status: wire.StatusNotFound}
+		}
+		if err != nil {
+			return errResponse(err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Val: val}
+	case wire.OpPut:
+		if err := s.store.Put(req.NS, req.Key, req.Val); err != nil {
+			return errResponse(err)
+		}
+		return &wire.Response{Status: wire.StatusOK}
+	case wire.OpDelete:
+		if err := s.store.Delete(req.NS, req.Key); err != nil {
+			return errResponse(err)
+		}
+		return &wire.Response{Status: wire.StatusOK}
+	case wire.OpList:
+		items, err := s.store.List(req.NS, req.Prefix)
+		if err != nil {
+			return errResponse(err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Items: items}
+	case wire.OpBatchGet:
+		items, err := s.store.BatchGet(req.Items)
+		if err != nil {
+			return errResponse(err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Items: items}
+	case wire.OpBatchPut:
+		if err := s.store.BatchPut(req.Items); err != nil {
+			return errResponse(err)
+		}
+		return &wire.Response{Status: wire.StatusOK}
+	case wire.OpStats:
+		st, err := s.store.Stats()
+		if err != nil {
+			return errResponse(err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Items: encodeStats(st)}
+	default:
+		return &wire.Response{Status: wire.StatusBadRequest, Err: wire.ErrUnknownOp.Error()}
+	}
+}
+
+func errResponse(err error) *wire.Response {
+	return &wire.Response{Status: wire.StatusError, Err: err.Error()}
+}
+
+func encodeStats(st Stats) []wire.KV {
+	items := []wire.KV{
+		{Key: "objects", Val: []byte(strconv.FormatInt(st.Objects, 10))},
+		{Key: "bytes", Val: []byte(strconv.FormatInt(st.Bytes, 10))},
+	}
+	for ns, n := range st.PerNS {
+		items = append(items, wire.KV{NS: ns, Key: "ns", Val: []byte(strconv.FormatInt(n, 10))})
+	}
+	return items
+}
+
+func decodeStats(items []wire.KV) (Stats, error) {
+	st := Stats{PerNS: make(map[wire.NS]int64)}
+	for _, it := range items {
+		n, err := strconv.ParseInt(string(it.Val), 10, 64)
+		if err != nil {
+			return st, fmt.Errorf("ssp: bad stats value %q: %w", it.Val, err)
+		}
+		switch it.Key {
+		case "objects":
+			st.Objects = n
+		case "bytes":
+			st.Bytes = n
+		case "ns":
+			st.PerNS[it.NS] = n
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,236 @@
+// Package stats instruments Sharoes operations, decomposing wall-clock time
+// into the three components the paper reports in Figure 13: NETWORK (wire
+// transfer), CRYPTO (encryption, decryption, signing, verification) and
+// OTHER (everything else — serialization, cache management, bookkeeping).
+package stats
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Component identifies a cost bucket.
+type Component uint8
+
+// Cost components, matching the paper's Figure 13 decomposition.
+const (
+	Network Component = iota
+	Crypto
+	Other
+	numComponents
+)
+
+// String implements fmt.Stringer.
+func (c Component) String() string {
+	switch c {
+	case Network:
+		return "NETWORK"
+	case Crypto:
+		return "CRYPTO"
+	default:
+		return "OTHER"
+	}
+}
+
+// Recorder accumulates time per component plus operation and byte counters.
+// It is safe for concurrent use. The zero value is ready to use; a nil
+// *Recorder discards all measurements, so instrumentation call sites never
+// need nil checks.
+type Recorder struct {
+	nanos     [numComponents]atomic.Int64
+	ops       atomic.Int64
+	bytesOut  atomic.Int64
+	bytesIn   atomic.Int64
+	cryptoOps atomic.Int64
+}
+
+// Add charges d to component c.
+func (r *Recorder) Add(c Component, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.nanos[c].Add(int64(d))
+	if c == Crypto {
+		r.cryptoOps.Add(1)
+	}
+}
+
+// Time starts a timer for component c; call the returned func to stop it.
+// Usage: defer r.Time(stats.Crypto)().
+func (r *Recorder) Time(c Component) func() {
+	if r == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { r.Add(c, time.Since(start)) }
+}
+
+// AddOp counts one completed filesystem operation.
+func (r *Recorder) AddOp() {
+	if r == nil {
+		return
+	}
+	r.ops.Add(1)
+}
+
+// AddBytes records wire traffic: out is bytes sent to the SSP, in is bytes
+// received from it.
+func (r *Recorder) AddBytes(out, in int) {
+	if r == nil {
+		return
+	}
+	r.bytesOut.Add(int64(out))
+	r.bytesIn.Add(int64(in))
+}
+
+// Snapshot is a point-in-time copy of a Recorder's counters.
+type Snapshot struct {
+	Network   time.Duration
+	Crypto    time.Duration
+	Other     time.Duration
+	Ops       int64
+	BytesOut  int64
+	BytesIn   int64
+	CryptoOps int64
+}
+
+// Snapshot returns the current counters. Safe on a nil Recorder.
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Network:   time.Duration(r.nanos[Network].Load()),
+		Crypto:    time.Duration(r.nanos[Crypto].Load()),
+		Other:     time.Duration(r.nanos[Other].Load()),
+		Ops:       r.ops.Load(),
+		BytesOut:  r.bytesOut.Load(),
+		BytesIn:   r.bytesIn.Load(),
+		CryptoOps: r.cryptoOps.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	for i := range r.nanos {
+		r.nanos[i].Store(0)
+	}
+	r.ops.Store(0)
+	r.bytesOut.Store(0)
+	r.bytesIn.Store(0)
+	r.cryptoOps.Store(0)
+}
+
+// Sub returns the component-wise difference s - o. Use it to isolate the
+// cost of a single operation between two snapshots.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		Network:   s.Network - o.Network,
+		Crypto:    s.Crypto - o.Crypto,
+		Other:     s.Other - o.Other,
+		Ops:       s.Ops - o.Ops,
+		BytesOut:  s.BytesOut - o.BytesOut,
+		BytesIn:   s.BytesIn - o.BytesIn,
+		CryptoOps: s.CryptoOps - o.CryptoOps,
+	}
+}
+
+// Total returns the sum of the three time components.
+func (s Snapshot) Total() time.Duration { return s.Network + s.Crypto + s.Other }
+
+// CryptoFraction returns the CRYPTO share of total time (0 when total is 0).
+// The paper's headline claim for Figure 13 is that this stays below 7%.
+func (s Snapshot) CryptoFraction() float64 {
+	t := s.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Crypto) / float64(t)
+}
+
+// String renders the snapshot in a compact human-readable form.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("net=%v crypto=%v other=%v ops=%d out=%dB in=%dB",
+		s.Network.Round(time.Microsecond), s.Crypto.Round(time.Microsecond),
+		s.Other.Round(time.Microsecond), s.Ops, s.BytesOut, s.BytesIn)
+}
+
+// OpBreakdown is the per-operation cost decomposition used by Figure 13.
+type OpBreakdown struct {
+	Op      string
+	Network time.Duration
+	Crypto  time.Duration
+	Other   time.Duration
+}
+
+// Total returns the total duration of the operation.
+func (b OpBreakdown) Total() time.Duration { return b.Network + b.Crypto + b.Other }
+
+// BreakdownFrom derives an OpBreakdown for a named operation that ran
+// between snapshots a and b and took wallTotal overall. NETWORK and CRYPTO
+// come from the recorder; OTHER is the remainder of wall time, exactly as
+// the paper computes it.
+func BreakdownFrom(op string, a, b Snapshot, wallTotal time.Duration) OpBreakdown {
+	d := b.Sub(a)
+	other := wallTotal - d.Network - d.Crypto
+	if other < 0 {
+		other = 0
+	}
+	return OpBreakdown{Op: op, Network: d.Network, Crypto: d.Crypto, Other: other}
+}
+
+// Clock abstracts time measurement so simulations can substitute virtual
+// time. The package-level functions use the real clock.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// RealClock is the wall clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Counter is a simple named monotonic counter set, used by the SSP server
+// to expose storage statistics for the Scheme-1/Scheme-2 experiment.
+type Counter struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounter returns an empty counter set.
+func NewCounter() *Counter { return &Counter{m: make(map[string]int64)} }
+
+// Add increments name by delta.
+func (c *Counter) Add(name string, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[name] += delta
+}
+
+// Get returns the current value of name.
+func (c *Counter) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// All returns a copy of every counter.
+func (c *Counter) All() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package types
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestPermTriplets(t *testing.T) {
+	p, err := ParsePerm("754")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Owner(); got != TripletRead|TripletWrite|TripletExec {
+		t.Errorf("owner = %v", got)
+	}
+	if got := p.Group(); got != TripletRead|TripletExec {
+		t.Errorf("group = %v", got)
+	}
+	if got := p.Other(); got != TripletRead {
+		t.Errorf("other = %v", got)
+	}
+	if s := p.String(); s != "rwxr-xr--" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestParsePermErrors(t *testing.T) {
+	for _, s := range []string{"", "8", "77777", "abc", "7a5"} {
+		if _, err := ParsePerm(s); err == nil {
+			t.Errorf("ParsePerm(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParsePermValues(t *testing.T) {
+	cases := map[string]Perm{
+		"0":   0,
+		"777": PermMask,
+		"700": PermOwnerRead | PermOwnerWrite | PermOwnerExec,
+		"070": PermGroupRead | PermGroupWrite | PermGroupExec,
+		"007": PermOtherRead | PermOtherWrite | PermOtherExec,
+		"111": PermOwnerExec | PermGroupExec | PermOtherExec,
+	}
+	for s, want := range cases {
+		got, err := ParsePerm(s)
+		if err != nil {
+			t.Fatalf("ParsePerm(%q): %v", s, err)
+		}
+		if got != want {
+			t.Errorf("ParsePerm(%q) = %o, want %o", s, got, want)
+		}
+	}
+}
+
+func TestPermWithTriplet(t *testing.T) {
+	p := Perm(0)
+	p = p.WithOwner(TripletRead | TripletWrite)
+	p = p.WithGroup(TripletRead)
+	p = p.WithOther(TripletExec)
+	if p.String() != "rw-r----x" {
+		t.Errorf("got %q", p.String())
+	}
+	// Replacing a triplet must not disturb the others.
+	p = p.WithGroup(TripletWrite)
+	if p.Owner() != TripletRead|TripletWrite || p.Other() != TripletExec {
+		t.Errorf("WithGroup disturbed other triplets: %q", p.String())
+	}
+}
+
+func TestPermTripletRoundTrip(t *testing.T) {
+	f := func(raw uint16) bool {
+		p := Perm(raw) & PermMask
+		q := Perm(0).WithOwner(p.Owner()).WithGroup(p.Group()).WithOther(p.Other())
+		return p == q
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTripletFor(t *testing.T) {
+	p, _ := ParsePerm("741")
+	if p.TripletFor(ClassOwner) != p.Owner() {
+		t.Error("owner mismatch")
+	}
+	if p.TripletFor(ClassGroup) != p.Group() {
+		t.Error("group mismatch")
+	}
+	if p.TripletFor(ClassOther) != p.Other() {
+		t.Error("other mismatch")
+	}
+}
+
+func TestCleanPath(t *testing.T) {
+	cases := map[string]string{
+		"/":              "/",
+		"/a/b/c":         "/a/b/c",
+		"//a///b":        "/a/b",
+		"/a/./b":         "/a/b",
+		"/a/../b":        "/b",
+		"/..":            "/",
+		"/a/b/../../c/.": "/c",
+		"/a/":            "/a",
+	}
+	for in, want := range cases {
+		got, err := CleanPath(in)
+		if err != nil {
+			t.Fatalf("CleanPath(%q): %v", in, err)
+		}
+		if got != want {
+			t.Errorf("CleanPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "a/b", "relative"} {
+		if _, err := CleanPath(bad); !errors.Is(err, ErrInvalidPath) {
+			t.Errorf("CleanPath(%q) err = %v, want ErrInvalidPath", bad, err)
+		}
+	}
+}
+
+func TestSplitPath(t *testing.T) {
+	cases := []struct{ in, dir, base string }{
+		{"/", "/", ""},
+		{"/a", "/", "a"},
+		{"/a/b", "/a", "b"},
+		{"/a/b/c/", "/a/b", "c"},
+		{"/a/../b/c", "/b", "c"},
+	}
+	for _, c := range cases {
+		dir, base, err := SplitPath(c.in)
+		if err != nil {
+			t.Fatalf("SplitPath(%q): %v", c.in, err)
+		}
+		if dir != c.dir || base != c.base {
+			t.Errorf("SplitPath(%q) = (%q,%q), want (%q,%q)", c.in, dir, base, c.dir, c.base)
+		}
+	}
+}
+
+func TestPathComponents(t *testing.T) {
+	got, err := PathComponents("/a/b/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("PathComponents = %v", got)
+	}
+	got, err = PathComponents("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("root components = %v", got)
+	}
+}
+
+func TestPathError(t *testing.T) {
+	e := &PathError{Op: "stat", Path: "/x", Err: ErrNotExist}
+	if !errors.Is(e, ErrNotExist) {
+		t.Error("Unwrap does not reach sentinel")
+	}
+	if e.Error() != "stat /x: "+ErrNotExist.Error() {
+		t.Errorf("Error() = %q", e.Error())
+	}
+}
+
+func TestKindAndClassStrings(t *testing.T) {
+	if KindFile.String() != "file" || KindDir.String() != "dir" || KindInvalid.String() != "invalid" {
+		t.Error("ObjKind.String mismatch")
+	}
+	if ClassOwner.String() != "owner" || ClassGroup.String() != "group" || ClassOther.String() != "other" {
+		t.Error("Class.String mismatch")
+	}
+	if TripletRead.String() != "r--" || Triplet(7).String() != "rwx" {
+		t.Error("Triplet.String mismatch")
+	}
+}

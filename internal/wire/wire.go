@@ -1,0 +1,470 @@
+// Package wire defines the binary protocol spoken between Sharoes clients
+// and the SSP data-serving tool.
+//
+// The SSP performs no computation on the data it stores (paper §IV): it is
+// a big hashtable of opaque encrypted blobs, so the protocol is a small
+// key-value vocabulary — get, put, delete, list, and batched variants —
+// over namespaced string keys. Messages are length-prefixed with compact
+// varint-encoded fields; wire size matters because the benchmarks are
+// dominated by a bandwidth-shaped WAN link.
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Op identifies a request operation.
+type Op uint8
+
+// Protocol operations.
+const (
+	OpPing Op = iota + 1
+	OpGet
+	OpPut
+	OpDelete
+	OpList     // keys (and values) under a prefix
+	OpBatchGet // many gets in one round trip
+	OpBatchPut // many puts (and deletes) in one round trip
+	OpStats    // storage statistics (object count, byte total)
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpList:
+		return "list"
+	case OpBatchGet:
+		return "batchget"
+	case OpBatchPut:
+		return "batchput"
+	case OpStats:
+		return "stats"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// NS is a key namespace at the SSP.
+type NS uint8
+
+// Namespaces. The SSP indexes encrypted metadata objects and data blocks by
+// inode number plus user/CAP identifier (paper §IV); the remaining
+// namespaces hold superblocks, group key blocks and split-point pointers.
+const (
+	NSMeta NS = iota + 1
+	NSData
+	NSSuper
+	NSGroupKey
+	NSSplit
+	NSSys
+)
+
+// String implements fmt.Stringer.
+func (n NS) String() string {
+	switch n {
+	case NSMeta:
+		return "meta"
+	case NSData:
+		return "data"
+	case NSSuper:
+		return "super"
+	case NSGroupKey:
+		return "groupkey"
+	case NSSplit:
+		return "split"
+	case NSSys:
+		return "sys"
+	default:
+		return fmt.Sprintf("ns(%d)", uint8(n))
+	}
+}
+
+// KV is a namespaced key-value pair. In batch puts a nil Val with Delete
+// set removes the key.
+type KV struct {
+	NS     NS
+	Key    string
+	Val    []byte
+	Delete bool
+}
+
+// Request is a client request.
+type Request struct {
+	Op     Op
+	NS     NS
+	Key    string
+	Val    []byte
+	Prefix string // OpList
+	Items  []KV   // OpBatchGet (keys only) / OpBatchPut
+}
+
+// Status is a response status code.
+type Status uint8
+
+// Response statuses.
+const (
+	StatusOK Status = iota + 1
+	StatusNotFound
+	StatusBadRequest
+	StatusError
+)
+
+// Response is the SSP's reply.
+type Response struct {
+	Status Status
+	Err    string
+	Val    []byte
+	Items  []KV // list / batch-get results; absent batch-get keys are omitted
+}
+
+// Protocol errors.
+var (
+	ErrNotFound    = errors.New("wire: key not found")
+	ErrTooLarge    = errors.New("wire: message exceeds size limit")
+	ErrBadMessage  = errors.New("wire: malformed message")
+	ErrRemote      = errors.New("wire: remote error")
+	ErrUnknownOp   = errors.New("wire: unknown operation")
+	errShortBuffer = errors.New("wire: truncated field")
+)
+
+// MaxMessageSize bounds a single framed message (64 MiB), protecting both
+// sides from hostile length prefixes.
+const MaxMessageSize = 64 << 20
+
+// --- low-level encoding ----------------------------------------------------
+
+func putUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+func putBytes(buf *bytes.Buffer, b []byte) {
+	putUvarint(buf, uint64(len(b)))
+	buf.Write(b)
+}
+
+func putString(buf *bytes.Buffer, s string) {
+	putUvarint(buf, uint64(len(s)))
+	buf.WriteString(s)
+}
+
+type reader struct {
+	b []byte
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, errShortBuffer
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)) {
+		return nil, errShortBuffer
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out, nil
+}
+
+func (r *reader) str() (string, error) {
+	b, err := r.bytes()
+	return string(b), err
+}
+
+func (r *reader) byteVal() (byte, error) {
+	if len(r.b) == 0 {
+		return 0, errShortBuffer
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v, nil
+}
+
+func encodeKV(buf *bytes.Buffer, kv KV) {
+	buf.WriteByte(byte(kv.NS))
+	putString(buf, kv.Key)
+	putBytes(buf, kv.Val)
+	if kv.Delete {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
+}
+
+func decodeKV(r *reader) (KV, error) {
+	var kv KV
+	ns, err := r.byteVal()
+	if err != nil {
+		return kv, err
+	}
+	kv.NS = NS(ns)
+	if kv.Key, err = r.str(); err != nil {
+		return kv, err
+	}
+	val, err := r.bytes()
+	if err != nil {
+		return kv, err
+	}
+	if len(val) > 0 {
+		kv.Val = append([]byte(nil), val...)
+	}
+	del, err := r.byteVal()
+	if err != nil {
+		return kv, err
+	}
+	kv.Delete = del == 1
+	return kv, nil
+}
+
+// Encode serializes the request.
+func (q *Request) Encode() []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(byte(q.Op))
+	buf.WriteByte(byte(q.NS))
+	putString(&buf, q.Key)
+	putBytes(&buf, q.Val)
+	putString(&buf, q.Prefix)
+	putUvarint(&buf, uint64(len(q.Items)))
+	for _, kv := range q.Items {
+		encodeKV(&buf, kv)
+	}
+	return buf.Bytes()
+}
+
+// DecodeRequest parses a request payload.
+func DecodeRequest(b []byte) (*Request, error) {
+	r := &reader{b: b}
+	var q Request
+	op, err := r.byteVal()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	q.Op = Op(op)
+	ns, err := r.byteVal()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	q.NS = NS(ns)
+	if q.Key, err = r.str(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	val, err := r.bytes()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	if len(val) > 0 {
+		q.Val = append([]byte(nil), val...)
+	}
+	if q.Prefix, err = r.str(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	if n > uint64(len(r.b)) { // each KV takes at least a few bytes
+		return nil, fmt.Errorf("%w: absurd item count %d", ErrBadMessage, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		kv, err := decodeKV(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: item %d: %v", ErrBadMessage, i, err)
+		}
+		q.Items = append(q.Items, kv)
+	}
+	return &q, nil
+}
+
+// Encode serializes the response.
+func (p *Response) Encode() []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(byte(p.Status))
+	putString(&buf, p.Err)
+	putBytes(&buf, p.Val)
+	putUvarint(&buf, uint64(len(p.Items)))
+	for _, kv := range p.Items {
+		encodeKV(&buf, kv)
+	}
+	return buf.Bytes()
+}
+
+// DecodeResponse parses a response payload.
+func DecodeResponse(b []byte) (*Response, error) {
+	r := &reader{b: b}
+	var p Response
+	st, err := r.byteVal()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	p.Status = Status(st)
+	if p.Err, err = r.str(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	val, err := r.bytes()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	if len(val) > 0 {
+		p.Val = append([]byte(nil), val...)
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	if n > uint64(len(r.b)) {
+		return nil, fmt.Errorf("%w: absurd item count %d", ErrBadMessage, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		kv, err := decodeKV(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: item %d: %v", ErrBadMessage, i, err)
+		}
+		p.Items = append(p.Items, kv)
+	}
+	return &p, nil
+}
+
+// --- framing ----------------------------------------------------------------
+
+// WriteFrame writes a length-prefixed message and returns the number of
+// bytes put on the wire.
+func WriteFrame(w io.Writer, payload []byte) (int, error) {
+	if len(payload) > MaxMessageSize {
+		return 0, ErrTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 4, err
+	}
+	return 4 + len(payload), nil
+}
+
+// ReadFrame reads one length-prefixed message and returns the payload and
+// the number of bytes consumed from the wire.
+func ReadFrame(r io.Reader) ([]byte, int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxMessageSize {
+		return nil, 4, ErrTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 4, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	return payload, 4 + int(n), nil
+}
+
+// Codec frames requests and responses over a connection, buffering writes
+// and counting wire bytes in each direction.
+type Codec struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	// BytesOut and BytesIn count wire traffic through this codec.
+	BytesOut int64
+	BytesIn  int64
+}
+
+// NewCodec wraps conn.
+func NewCodec(conn net.Conn) *Codec {
+	return &Codec{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 32*1024),
+		bw:   bufio.NewWriterSize(conn, 32*1024),
+	}
+}
+
+// Close closes the underlying connection.
+func (c *Codec) Close() error { return c.conn.Close() }
+
+func (c *Codec) send(payload []byte) error {
+	n, err := WriteFrame(c.bw, payload)
+	c.BytesOut += int64(n)
+	if err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *Codec) recv() ([]byte, error) {
+	payload, n, err := ReadFrame(c.br)
+	c.BytesIn += int64(n)
+	return payload, err
+}
+
+// SendRequest writes a request frame.
+func (c *Codec) SendRequest(q *Request) error { return c.send(q.Encode()) }
+
+// ReadRequest reads the next request frame.
+func (c *Codec) ReadRequest() (*Request, error) {
+	payload, err := c.recv()
+	if err != nil {
+		return nil, err
+	}
+	return DecodeRequest(payload)
+}
+
+// SendResponse writes a response frame.
+func (c *Codec) SendResponse(p *Response) error { return c.send(p.Encode()) }
+
+// ReadResponse reads the next response frame.
+func (c *Codec) ReadResponse() (*Response, error) {
+	payload, err := c.recv()
+	if err != nil {
+		return nil, err
+	}
+	return DecodeResponse(payload)
+}
+
+// Call performs one request/response round trip.
+func (c *Codec) Call(q *Request) (*Response, error) {
+	if err := c.SendRequest(q); err != nil {
+		return nil, err
+	}
+	return c.ReadResponse()
+}
+
+// AsError converts a non-OK response into an error.
+func (p *Response) AsError() error {
+	switch p.Status {
+	case StatusOK:
+		return nil
+	case StatusNotFound:
+		return ErrNotFound
+	case StatusBadRequest:
+		return fmt.Errorf("%w: bad request: %s", ErrRemote, p.Err)
+	default:
+		return fmt.Errorf("%w: %s", ErrRemote, p.Err)
+	}
+}

@@ -1,0 +1,230 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// FigureOptions configures one figure regeneration.
+type FigureOptions struct {
+	Options
+	// Scale divides the paper's workload sizes (1 = full paper scale;
+	// benchmarks use larger values to finish in test time).
+	Scale int
+	// Reps averages each measurement over this many runs (the paper
+	// averaged ten). Default 1.
+	Reps int
+}
+
+func (o FigureOptions) reps() int {
+	if o.Reps < 1 {
+		return 1
+	}
+	return o.Reps
+}
+
+// Fig9Row is one implementation's Create-and-List result.
+type Fig9Row struct {
+	System SystemKind
+	Result CreateListResult
+}
+
+// RunFig9 regenerates Figure 9: Create-and-List across the five
+// implementations, averaged over opts.Reps runs.
+func RunFig9(opts FigureOptions) ([]Fig9Row, error) {
+	cfg := PaperCreateList.Scaled(opts.Scale)
+	rows := make([]Fig9Row, 0, len(AllSystems))
+	for _, kind := range AllSystems {
+		var acc CreateListResult
+		for rep := 0; rep < opts.reps(); rep++ {
+			sys, err := Build(kind, opts.Options)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %v: %w", kind, err)
+			}
+			res, err := CreateList(sys.FS, sys.Rec, cfg)
+			sys.Close()
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %v: %w", kind, err)
+			}
+			acc.Create += res.Create
+			acc.List += res.List
+			acc.CreateStats = addSnap(acc.CreateStats, res.CreateStats)
+			acc.ListStats = addSnap(acc.ListStats, res.ListStats)
+		}
+		n := int64(opts.reps())
+		acc.Create /= time.Duration(n)
+		acc.List /= time.Duration(n)
+		acc.CreateStats = divSnap(acc.CreateStats, n)
+		acc.ListStats = divSnap(acc.ListStats, n)
+		rows = append(rows, Fig9Row{System: kind, Result: acc})
+	}
+	return rows, nil
+}
+
+// PrintFig9 renders the figure as a table.
+func PrintFig9(w io.Writer, rows []Fig9Row) {
+	fmt.Fprintf(w, "Figure 9 — Create-and-List benchmark\n")
+	fmt.Fprintf(w, "%-12s %12s %12s %10s %10s\n", "SYSTEM", "CREATE", "LIST", "CRYPTO(C)", "CRYPTO(L)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %12s %12s %9.1f%% %9.1f%%\n",
+			r.System, round(r.Result.Create), round(r.Result.List),
+			100*r.Result.CreateStats.CryptoFraction(), 100*r.Result.ListStats.CryptoFraction())
+	}
+}
+
+// Fig10Row is one (implementation, cache size) Postmark measurement.
+type Fig10Row struct {
+	System   SystemKind
+	CachePct int
+	Result   PostmarkResult
+}
+
+// RunFig10 regenerates Figure 10: Postmark time vs cache size (percent of
+// data-set size) for the four macro systems.
+func RunFig10(opts FigureOptions, cachePcts []int) ([]Fig10Row, error) {
+	if len(cachePcts) == 0 {
+		cachePcts = []int{0, 20, 40, 60, 80, 100}
+	}
+	cfg := PaperPostmark.Scaled(opts.Scale)
+	dataSet := cfg.DataSetBytes()
+	var rows []Fig10Row
+	for _, kind := range MacroSystems {
+		for _, pct := range cachePcts {
+			o := opts.Options
+			// The budget covers data plus decrypted-metadata overhead;
+			// 100% means the working set fits entirely.
+			o.CacheBytes = int64(float64(dataSet) * float64(pct) / 100.0 * 1.5)
+			sys, err := Build(kind, o)
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %v/%d%%: %w", kind, pct, err)
+			}
+			res, err := Postmark(sys.FS, cfg)
+			sys.Close()
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %v/%d%%: %w", kind, pct, err)
+			}
+			rows = append(rows, Fig10Row{System: kind, CachePct: pct, Result: res})
+		}
+	}
+	return rows, nil
+}
+
+// PrintFig10 renders the cache-size sweep.
+func PrintFig10(w io.Writer, rows []Fig10Row) {
+	fmt.Fprintf(w, "Figure 10 — Postmark benchmark (time vs cache size)\n")
+	fmt.Fprintf(w, "%-12s %8s %12s\n", "SYSTEM", "CACHE%", "TIME")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %7d%% %12s\n", r.System, r.CachePct, round(r.Result.Total))
+	}
+}
+
+// Fig11Row is one implementation's Andrew result.
+type Fig11Row struct {
+	System SystemKind
+	Result AndrewResult
+}
+
+// RunFig11 regenerates Figures 11 and 12: the Andrew benchmark per phase
+// and cumulative, averaged over opts.Reps runs.
+func RunFig11(opts FigureOptions) ([]Fig11Row, error) {
+	cfg := PaperAndrew.Scaled(opts.Scale)
+	rows := make([]Fig11Row, 0, len(MacroSystems))
+	for _, kind := range MacroSystems {
+		var acc AndrewResult
+		for rep := 0; rep < opts.reps(); rep++ {
+			sys, err := Build(kind, opts.Options)
+			if err != nil {
+				return nil, fmt.Errorf("fig11 %v: %w", kind, err)
+			}
+			res, err := Andrew(sys.FS, cfg)
+			sys.Close()
+			if err != nil {
+				return nil, fmt.Errorf("fig11 %v: %w", kind, err)
+			}
+			for i := range acc.Phase {
+				acc.Phase[i] += res.Phase[i]
+			}
+		}
+		for i := range acc.Phase {
+			acc.Phase[i] /= time.Duration(opts.reps())
+		}
+		rows = append(rows, Fig11Row{System: kind, Result: acc})
+	}
+	return rows, nil
+}
+
+// PrintFig11 renders the per-phase results.
+func PrintFig11(w io.Writer, rows []Fig11Row) {
+	fmt.Fprintf(w, "Figure 11 — Andrew benchmark (per phase)\n")
+	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s %10s\n", "SYSTEM", "P1:mkdir", "P2:copy", "P3:stat", "P4:read", "P5:make")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %10s %10s %10s %10s %10s\n", r.System,
+			round(r.Result.Phase[0]), round(r.Result.Phase[1]), round(r.Result.Phase[2]),
+			round(r.Result.Phase[3]), round(r.Result.Phase[4]))
+	}
+}
+
+// PrintFig12 renders the cumulative table with overheads relative to
+// NO-ENC-MD-D, the paper's Figure 12 framing.
+func PrintFig12(w io.Writer, rows []Fig11Row) {
+	fmt.Fprintf(w, "Figure 12 — Andrew benchmark (cumulative)\n")
+	fmt.Fprintf(w, "%-12s %12s %10s\n", "SYSTEM", "TIME", "OVERHEAD")
+	var base time.Duration
+	for _, r := range rows {
+		if r.System == SysNoEncMDD {
+			base = r.Result.Total()
+		}
+	}
+	for _, r := range rows {
+		total := r.Result.Total()
+		if r.System == SysNoEncMDD || base == 0 {
+			fmt.Fprintf(w, "%-12s %12s %10s\n", r.System, round(total), "–")
+			continue
+		}
+		over := 100 * (float64(total) - float64(base)) / float64(base)
+		fmt.Fprintf(w, "%-12s %12s %9.1f%%\n", r.System, round(total), over)
+	}
+}
+
+// RunFig13 regenerates Figure 13: Sharoes filesystem operation costs
+// decomposed into NETWORK / CRYPTO / OTHER.
+func RunFig13(opts FigureOptions) (OpCostsResult, error) {
+	sys, err := Build(SysSharoes, opts.Options)
+	if err != nil {
+		return OpCostsResult{}, fmt.Errorf("fig13: %w", err)
+	}
+	defer sys.Close()
+	return OpCosts(sys.FS, sys.Rec, PaperOpCosts.Scaled(opts.Scale))
+}
+
+// PrintFig13 renders the breakdown.
+func PrintFig13(w io.Writer, res OpCostsResult) {
+	fmt.Fprintf(w, "Figure 13 — Sharoes filesystem operation costs\n")
+	fmt.Fprintf(w, "%-12s %12s %12s %12s %12s %8s\n", "OP", "TOTAL", "NETWORK", "CRYPTO", "OTHER", "CRYPTO%")
+	for _, op := range res.Ops {
+		total := op.Total()
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(op.Crypto) / float64(total)
+		}
+		fmt.Fprintf(w, "%-12s %12s %12s %12s %12s %7.1f%%\n",
+			op.Op, round(total), round(op.Network), round(op.Crypto), round(op.Other), pct)
+	}
+}
+
+// RunScheme regenerates the Scheme-1 vs Scheme-2 storage study (§III-D).
+func RunScheme(cfg SchemeConfig) ([]SchemeResult, error) { return SchemeStudy(cfg) }
+
+// PrintScheme renders the study.
+func PrintScheme(w io.Writer, rows []SchemeResult) {
+	fmt.Fprintf(w, "Scheme study (§III-D) — metadata layout storage costs\n")
+	fmt.Fprintf(w, "%-9s %6s %7s %12s %12s %12s %14s\n",
+		"SCHEME", "USERS", "FILES", "METAOBJS", "BYTES", "B/FILE", "$/USER/MO(1M)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s %6d %7d %12d %12d %12.0f %14.2f\n",
+			r.Scheme, r.Users, r.Files, r.MetaObjects, r.TotalBytes, r.BytesPerFile, r.DollarPerUser)
+	}
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Millisecond) }

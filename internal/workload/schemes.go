@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/sharoes/sharoes/internal/keys"
+	"github.com/sharoes/sharoes/internal/layout"
+	"github.com/sharoes/sharoes/internal/migrate"
+	"github.com/sharoes/sharoes/internal/sharocrypto"
+	"github.com/sharoes/sharoes/internal/ssp"
+	"github.com/sharoes/sharoes/internal/types"
+)
+
+// SchemeConfig parameterizes the Scheme-1 vs Scheme-2 study (paper
+// §III-D): the storage and update costs of the two metadata layouts as
+// the number of users grows. The paper quantifies Scheme-1 at ~$0.60 per
+// user per month for a million-file system at 2008 Amazon S3 prices
+// ($0.15/GB-month).
+type SchemeConfig struct {
+	Files      int
+	Dirs       int
+	ExtraUsers int // users beyond the standard enterprise four
+}
+
+// PaperScheme is a laptop-sized rendition (the per-object byte costs are
+// what matter; they extrapolate linearly to the paper's million files).
+var PaperScheme = SchemeConfig{Files: 200, Dirs: 10, ExtraUsers: 6}
+
+// SchemeResult compares the two layouts.
+type SchemeResult struct {
+	Scheme        string
+	Users         int
+	Files         int
+	MetaObjects   int64
+	MetaBytes     int64
+	TotalBytes    int64
+	BytesPerFile  float64
+	DollarPerUser float64 // per month at the paper's S3 price, for 1M files
+}
+
+// SchemeStudy migrates an identical synthetic tree under both layouts and
+// reports their SSP storage footprints.
+func SchemeStudy(cfg SchemeConfig) ([]SchemeResult, error) {
+	// A private registry so extra users don't perturb the shared fixture.
+	reg := keys.NewRegistry()
+	baseReg, baseUsers, err := Enterprise()
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range baseReg.Users() {
+		reg.AddUser(u, mustPub(baseReg, u))
+	}
+	_ = baseUsers
+	for i := 0; i < cfg.ExtraUsers; i++ {
+		// Extra users re-use alice's public key: the registry only needs
+		// a valid key per user, and RSA generation is the slow part.
+		reg.AddUser(types.UserID(fmt.Sprintf("user%02d", i)), mustPub(baseReg, "alice"))
+	}
+	reg.AddGroup("eng", mustPub(baseReg, "alice"))
+	reg.AddMember("eng", "alice")
+	reg.AddMember("eng", "bob")
+
+	tree := migrate.Dir("", "alice", "eng", 0o755)
+	per := cfg.Files / cfg.Dirs
+	for d := 0; d < cfg.Dirs; d++ {
+		dir := migrate.Dir(fmt.Sprintf("d%02d", d), "alice", "eng", 0o755)
+		for f := 0; f < per; f++ {
+			dir.Children = append(dir.Children,
+				migrate.File(fmt.Sprintf("f%03d", f), "alice", "eng", 0o644, make([]byte, 1024)))
+		}
+		tree.Children = append(tree.Children, dir)
+	}
+
+	var out []SchemeResult
+	for _, name := range []string{"scheme1", "scheme2"} {
+		var eng layout.Engine = layout.NewScheme2(reg)
+		if name == "scheme1" {
+			eng = layout.NewScheme1(reg)
+		}
+		store := ssp.NewMemStore()
+		if _, err := migrate.MigrateTree(migrate.Options{Store: store, Registry: reg,
+			Layout: eng, FSID: "schemefs", RootOwner: "alice", RootGroup: "eng"}, tree); err != nil {
+			return nil, err
+		}
+		st, err := store.Stats()
+		if err != nil {
+			return nil, err
+		}
+		nFiles := cfg.Dirs * per
+		res := SchemeResult{
+			Scheme:      name,
+			Users:       len(reg.Users()),
+			Files:       nFiles,
+			MetaObjects: st.PerNS[1], // wire.NSMeta
+			MetaBytes:   st.Bytes,
+			TotalBytes:  st.Bytes,
+		}
+		res.BytesPerFile = float64(st.Bytes) / float64(nFiles)
+		// Extrapolate the paper's framing: metadata overhead for one
+		// million files, in dollars per user per month at $0.15/GB.
+		metaPerFilePerUser := res.BytesPerFile / float64(res.Users)
+		res.DollarPerUser = metaPerFilePerUser * 1e6 / (1 << 30) * 0.15
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func mustPub(reg *keys.Registry, u types.UserID) sharocrypto.PublicKey {
+	p, err := reg.UserKey(u)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
