@@ -1,0 +1,53 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# targets; keep the two in sync.
+
+GO ?= go
+
+# Every fuzz target in the tree, as package:Target pairs. go test accepts
+# only one -fuzz pattern per package invocation, so fuzz-smoke loops.
+FUZZ_TARGETS := \
+	./internal/wire:FuzzDecodeRequest \
+	./internal/wire:FuzzDecodeResponse \
+	./internal/wire:FuzzReadFrame \
+	./internal/binenc:FuzzReader \
+	./internal/binenc:FuzzRoundTrip \
+	./internal/meta:FuzzDecodeMetadata \
+	./internal/meta:FuzzDecodeTable \
+	./internal/meta:FuzzDecodeManifest \
+	./internal/meta:FuzzDecodeSuperblock \
+	./internal/meta:FuzzDecodeSplitPointer \
+	./internal/cap:FuzzOpenView
+
+FUZZTIME ?= 10s
+
+.PHONY: all build test vet race fuzz-smoke check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# vet = the stock toolchain vet plus the repo's own security-invariant
+# analyzers (key leaks, AAD binding, seeded randomness, error hygiene).
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/sharoes-vet ./...
+
+# race runs the packages with dedicated concurrency stress tests under
+# the race detector.
+race:
+	$(GO) test -race ./internal/client ./internal/ssp ./internal/cache
+
+# fuzz-smoke runs every fuzz target for a short burst — enough to catch
+# regressions on the saved corpus plus a little fresh exploration.
+fuzz-smoke:
+	@for spec in $(FUZZ_TARGETS); do \
+		pkg=$${spec%%:*}; target=$${spec##*:}; \
+		echo "--- fuzz $$pkg $$target"; \
+		$(GO) test $$pkg -run "^$$target$$" -fuzz "^$$target$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
+
+check: build vet test race fuzz-smoke

@@ -1,0 +1,98 @@
+// Command sharoes-vet runs the Sharoes security-invariant analyzers
+// (package internal/analysis) over the repository:
+//
+//	sharoes-vet ./...                 # whole module
+//	sharoes-vet ./internal/ssp        # one package
+//	sharoes-vet -list                 # describe the analyzers
+//
+// It prints findings in file:line:col form and exits 1 when any invariant
+// is violated, 0 on a clean tree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/sharoes/sharoes/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("run", "", "comma-separated analyzer names to run (default all)")
+	flag.Parse()
+
+	analyzers := analysis.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+	if *only != "" {
+		byName := make(map[string]analysis.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name()] = a
+		}
+		var sel []analysis.Analyzer
+		for _, n := range strings.Split(*only, ",") {
+			n = strings.TrimSpace(n)
+			a, ok := byName[n]
+			if !ok {
+				// A typo'd name silently checking nothing would defeat the
+				// tool; fail loudly and say what exists.
+				fmt.Fprintf(os.Stderr, "sharoes-vet: unknown analyzer %q in -run (have: %s)\n",
+					n, strings.Join(analyzerNames(analyzers), ", "))
+				os.Exit(2)
+			}
+			sel = append(sel, a)
+		}
+		analyzers = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	dirs, err := analysis.ExpandPatterns(cwd, patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	bad := false
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range analysis.Run(pkg, analyzers) {
+			bad = true
+			fmt.Println(f)
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+func analyzerNames(as []analysis.Analyzer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name()
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sharoes-vet:", err)
+	os.Exit(2)
+}

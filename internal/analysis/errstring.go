@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrString flags blob contents embedded into wire/ssp error and log
+// strings. The SSP-side packages handle nothing but opaque encrypted
+// blobs, yet their error strings travel back to clients and into server
+// logs; interpolating a stored value ([]byte, a KV, or string(blob))
+// grows logs without bound and, worse, echoes ciphertext — and whatever a
+// buggy client put in it — into the provider-readable log stream.
+type ErrString struct{}
+
+// errStringPkgs are the import-path suffixes the analyzer applies to.
+var errStringPkgs = []string{
+	"internal/wire",
+	"internal/ssp",
+}
+
+// Name implements Analyzer.
+func (ErrString) Name() string { return "errstring" }
+
+// Doc implements Analyzer.
+func (ErrString) Doc() string {
+	return "wire/ssp error and log strings must not embed blob contents"
+}
+
+// Check implements Analyzer.
+func (a ErrString) Check(p *Package) []Finding {
+	applies := false
+	for _, suffix := range errStringPkgs {
+		if strings.HasSuffix(p.Path, suffix) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := printSink(p.Info, call)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				if reason, bad := embedsBlob(p.Info, arg); bad {
+					out = append(out, Finding{
+						Analyzer: a.Name(),
+						Pos:      p.Fset.Position(arg.Pos()),
+						Message:  fmt.Sprintf("%s passed to %s.%s: report lengths or keys, not stored contents", reason, fn.Pkg().Name(), fn.Name()),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// embedsBlob reports whether the expression carries stored blob contents:
+// a []byte value, a struct containing one (wire.KV, wire.Request, ...),
+// or an explicit string(blob) conversion.
+func embedsBlob(info *types.Info, arg ast.Expr) (string, bool) {
+	arg = ast.Unparen(arg)
+	t := info.TypeOf(arg)
+	if t == nil {
+		return "", false
+	}
+	if isByteSlice(t) {
+		return "[]byte blob value", true
+	}
+	if containsByteSlice(t) {
+		return fmt.Sprintf("blob-bearing value of type %s", types.TypeString(t, nil)), true
+	}
+	// string(blob): a conversion call whose operand is a byte slice.
+	if call, ok := arg.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			if ot := info.TypeOf(call.Args[0]); ot != nil && isByteSlice(ot) {
+				return "string(blob) conversion", true
+			}
+		}
+	}
+	return "", false
+}
+
+// containsByteSlice reports whether t transitively contains a []byte field
+// (structs, pointers, slices, arrays, maps). Error values and strings are
+// deliberately not matched.
+func containsByteSlice(t types.Type) bool {
+	return containsBS(t, make(map[types.Type]bool))
+}
+
+func containsBS(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isByteSlice(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return containsBS(u.Elem(), seen)
+	case *types.Slice:
+		return containsBS(u.Elem(), seen)
+	case *types.Array:
+		return containsBS(u.Elem(), seen)
+	case *types.Map:
+		return containsBS(u.Key(), seen) || containsBS(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsBS(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// KeyLeak flags key material flowing into fmt/log output. The SSP threat
+// model makes any log line or error string that carries a SymKey, SignKey
+// or PrivateKey — or raw bytes extracted from one — a total compromise:
+// server logs are exactly the kind of operational data an outsourced
+// provider can read.
+type KeyLeak struct{}
+
+// Name implements Analyzer.
+func (KeyLeak) Name() string { return "keyleak" }
+
+// Doc implements Analyzer.
+func (KeyLeak) Doc() string {
+	return "key material (SymKey/SignKey/PrivateKey or their raw bytes) must never reach fmt/log output"
+}
+
+// Check implements Analyzer.
+func (a KeyLeak) Check(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := printSink(p.Info, call)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				if reason, leak := a.leaks(p.Info, arg); leak {
+					out = append(out, Finding{
+						Analyzer: a.Name(),
+						Pos:      p.Fset.Position(arg.Pos()),
+						Message:  fmt.Sprintf("%s passed to %s.%s", reason, fn.Pkg().Name(), fn.Name()),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// leaks reports whether the expression exposes key material, and how.
+func (KeyLeak) leaks(info *types.Info, arg ast.Expr) (string, bool) {
+	arg = ast.Unparen(arg)
+	if t := info.TypeOf(arg); t != nil && containsKeyType(t) {
+		return fmt.Sprintf("value of key-bearing type %s", types.TypeString(t, nil)), true
+	}
+	switch e := arg.(type) {
+	case *ast.SliceExpr:
+		// k[:] — raw key bytes as []byte.
+		if t := info.TypeOf(e.X); t != nil && containsKeyType(t) {
+			return "raw key bytes (slice of key value)", true
+		}
+	case *ast.IndexExpr:
+		// k[i] — a single key byte.
+		if t := info.TypeOf(e.X); t != nil && containsKeyType(t) {
+			return "raw key byte (index of key value)", true
+		}
+	case *ast.CallExpr:
+		// k.Marshal() and friends — a method on a key type returning the
+		// serialized secret.
+		sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		selection := info.Selections[sel]
+		if selection == nil || !containsKeyType(selection.Recv()) {
+			return "", false
+		}
+		if ret := info.TypeOf(e); ret != nil && (isByteSlice(ret) || isByteArray(ret)) {
+			return fmt.Sprintf("raw key bytes (%s() on key value)", sel.Sel.Name), true
+		}
+	}
+	return "", false
+}

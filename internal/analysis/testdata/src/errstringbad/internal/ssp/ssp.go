@@ -1,0 +1,22 @@
+// Package ssp is a sharoes-vet test fixture (path suffix internal/ssp):
+// every print below embeds blob contents and must be flagged by
+// errstring.
+package ssp
+
+import (
+	"fmt"
+	"log"
+)
+
+// KV mirrors the wire KV shape: a struct carrying blob contents.
+type KV struct {
+	Key string
+	Val []byte
+}
+
+// Bad exercises each embedding form.
+func Bad(val []byte, kv KV) error {
+	log.Printf("stored blob %x", val)        // []byte into a log
+	_ = fmt.Sprintf("item %v", kv)           // blob-bearing struct
+	return fmt.Errorf("bad %s", string(val)) // string(blob) conversion
+}

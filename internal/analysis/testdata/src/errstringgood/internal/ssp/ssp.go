@@ -1,0 +1,19 @@
+// Package ssp is a sharoes-vet test fixture (path suffix internal/ssp):
+// errors report keys and lengths, never contents, so errstring must stay
+// silent.
+package ssp
+
+import (
+	"errors"
+	"fmt"
+	"log"
+)
+
+// Good reports only sizes, keys and wrapped errors.
+func Good(key string, val []byte, err error) error {
+	log.Printf("read %q: %v", key, err)
+	if len(val) == 0 {
+		return errors.New("ssp: empty value")
+	}
+	return fmt.Errorf("ssp: bad value for %q (%d bytes): %w", key, len(val), err)
+}

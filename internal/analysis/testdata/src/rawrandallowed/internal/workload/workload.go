@@ -1,0 +1,11 @@
+// Package workload is a sharoes-vet test fixture for the rawrand
+// allowlist: its import path ends in internal/workload, so a seeded
+// math/rand generator is permitted here.
+package workload
+
+import "math/rand"
+
+// Traffic produces deterministic benchmark traffic.
+func Traffic(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(100)
+}

@@ -1,0 +1,8 @@
+// Package rawrandbad is a sharoes-vet test fixture: a non-test file in a
+// non-allowlisted package importing math/rand must be flagged by rawrand.
+package rawrandbad
+
+import "math/rand"
+
+// Entropy is what rawrand exists to prevent.
+func Entropy() int64 { return rand.Int63() }

@@ -84,7 +84,7 @@ func (s *Session) fetchMeta(ino types.Inode) (*bMeta, error) {
 		}
 		var pt []byte
 		if err == nil {
-			pt, err = mk.Open(body, nil)
+			pt, err = mk.Open(body, pubOptMetaAAD(s.fsid, ino))
 		}
 		stop()
 		if err != nil {
@@ -136,7 +136,7 @@ func sealMetaKVs(mode Mode, fsid string, reg registryLike, users []types.UserID,
 		stop := timer()
 		defer stop()
 		mk := sharocrypto.NewSymKey()
-		kvs := []wire.KV{{NS: wire.NSMeta, Key: base, Val: mk.Seal(plain, nil)}}
+		kvs := []wire.KV{{NS: wire.NSMeta, Key: base, Val: mk.Seal(plain, pubOptMetaAAD(fsid, m.Attr.Inode))}}
 		for _, u := range users {
 			pub, err := reg.UserKey(u)
 			if err != nil {
@@ -241,6 +241,13 @@ func (s *Session) tableKV(m *bMeta, t *bTable) wire.KV {
 }
 
 func tableAAD(ino types.Inode) []byte { return []byte(fmt.Sprintf("bt|%d", uint64(ino))) }
+
+// pubOptMetaAAD binds a PUB-OPT symmetric metadata body to its filesystem
+// and inode, so a compromised store cannot answer a metadata fetch with a
+// different object's validly-sealed body.
+func pubOptMetaAAD(fsid string, ino types.Inode) []byte {
+	return []byte(fmt.Sprintf("bm|%s|%d", fsid, uint64(ino)))
+}
 func blockAAD(ino types.Inode, idx uint32) []byte {
 	return []byte(fmt.Sprintf("bb|%d|%d", uint64(ino), idx))
 }

@@ -97,11 +97,15 @@ func (r *Reader) Bool() (bool, error) {
 // BytesField consumes a length-prefixed byte string. The result aliases the
 // input buffer; copy it if it must outlive the buffer.
 func (r *Reader) BytesField() ([]byte, error) {
+	save := r.b
 	n, err := r.Uvarint()
 	if err != nil {
 		return nil, err
 	}
 	if n > uint64(len(r.b)) {
+		// Restore the length prefix: a failed read must consume nothing,
+		// or the reader is left mid-field in an unspecified position.
+		r.b = save
 		return nil, ErrTruncated
 	}
 	out := r.b[:n]

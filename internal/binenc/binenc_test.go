@@ -103,3 +103,25 @@ func TestWriterLen(t *testing.T) {
 		t.Errorf("len = %d", w.Len())
 	}
 }
+
+// Regression for a fuzzer finding: BytesField consumed its length prefix
+// before noticing the field overran the buffer, leaving the reader
+// mid-field. Failed reads must consume nothing.
+func TestFailedReadConsumesNothing(t *testing.T) {
+	var w Writer
+	w.Uvarint(48) // length prefix promising 48 bytes that never arrive
+	r := NewReader(w.Bytes())
+	before := r.Remaining()
+	if _, err := r.BytesField(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("bytes field: %v", err)
+	}
+	if r.Remaining() != before {
+		t.Fatalf("failed BytesField consumed %d bytes", before-r.Remaining())
+	}
+	if _, err := r.String(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("string: %v", err)
+	}
+	if r.Remaining() != before {
+		t.Fatalf("failed String consumed %d bytes", before-r.Remaining())
+	}
+}

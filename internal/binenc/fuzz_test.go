@@ -1,0 +1,98 @@
+package binenc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzReader drives a Reader over arbitrary data with an op sequence
+// also chosen by the fuzzer. Invariants: no read ever panics, every
+// failure is ErrTruncated, a failed read consumes nothing, and the
+// Reader only ever moves forward.
+func FuzzReader(f *testing.F) {
+	var w Writer
+	w.Uvarint(300)
+	w.Byte(7)
+	w.Bool(true)
+	w.BytesField([]byte("field"))
+	w.String("name")
+	w.Raw([]byte{1, 2, 3})
+	f.Add([]byte{0, 1, 2, 3, 4, 5}, w.Bytes())
+	f.Add([]byte{3, 3, 3, 3}, []byte{0x80})
+	f.Add([]byte{5, 5}, []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+
+	f.Fuzz(func(t *testing.T, ops, data []byte) {
+		r := NewReader(data)
+		for _, op := range ops {
+			before := r.Remaining()
+			var err error
+			switch op % 6 {
+			case 0:
+				_, err = r.Uvarint()
+			case 1:
+				_, err = r.Byte()
+			case 2:
+				_, err = r.Bool()
+			case 3:
+				_, err = r.BytesField()
+			case 4:
+				_, err = r.String()
+			case 5:
+				_, err = r.Raw(int(op) % 64)
+			}
+			after := r.Remaining()
+			if after > before {
+				t.Fatalf("reader went backwards: %d -> %d", before, after)
+			}
+			if err != nil {
+				if !errors.Is(err, ErrTruncated) {
+					t.Fatalf("unexpected error type: %v", err)
+				}
+				if after != before {
+					t.Fatalf("failed read consumed %d bytes", before-after)
+				}
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip writes fuzz-chosen values through a Writer and reads
+// them back, checking that the encoding is self-describing and lossless.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0), byte(0), false, []byte(nil), "")
+	f.Add(uint64(1<<60), byte(0xff), true, []byte("payload"), "some/key")
+	f.Fuzz(func(t *testing.T, v uint64, b byte, ok bool, field []byte, s string) {
+		var w Writer
+		w.Uvarint(v)
+		w.Byte(b)
+		w.Bool(ok)
+		w.BytesField(field)
+		w.String(s)
+
+		r := NewReader(w.Bytes())
+		gotV, err := r.Uvarint()
+		if err != nil || gotV != v {
+			t.Fatalf("uvarint: got %d, %v; want %d", gotV, err, v)
+		}
+		gotB, err := r.Byte()
+		if err != nil || gotB != b {
+			t.Fatalf("byte: got %d, %v; want %d", gotB, err, b)
+		}
+		gotOK, err := r.Bool()
+		if err != nil || gotOK != ok {
+			t.Fatalf("bool: got %v, %v; want %v", gotOK, err, ok)
+		}
+		gotField, err := r.BytesField()
+		if err != nil || !bytes.Equal(gotField, field) {
+			t.Fatalf("bytes field: got %q, %v; want %q", gotField, err, field)
+		}
+		gotS, err := r.String()
+		if err != nil || gotS != s {
+			t.Fatalf("string: got %q, %v; want %q", gotS, err, s)
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("%d trailing bytes after reading everything back", r.Remaining())
+		}
+	})
+}

@@ -257,7 +257,7 @@ func TestFilterDirClasses(t *testing.T) {
 	}
 
 	// Distinct variants get distinct derived table DEKs.
-	if read.Keys.DEK == rx.Keys.DEK || rx.Keys.DEK == execOnly.Keys.DEK {
+	if read.Keys.DEK.Equal(rx.Keys.DEK) || rx.Keys.DEK.Equal(execOnly.Keys.DEK) {
 		t.Error("variant table keys not distinct")
 	}
 

@@ -1,0 +1,124 @@
+package meta
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/sharoes/sharoes/internal/sharocrypto"
+	"github.com/sharoes/sharoes/internal/types"
+)
+
+// Deterministic key material for fuzz seeds (never used outside tests).
+func fuzzKeys(tb testing.TB) (sharocrypto.SymKey, sharocrypto.SignKey, sharocrypto.VerifyKey) {
+	seed := bytes.Repeat([]byte{0x42}, sharocrypto.SymKeySize)
+	sym, err := sharocrypto.SymKeyFromBytes(seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sk, err := sharocrypto.SignKeyFromBytes(bytes.Repeat([]byte{0x17}, sharocrypto.SignKeySeedSize))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sym, sk, sk.VerifyKey()
+}
+
+func seedMetadata(tb testing.TB) *Metadata {
+	sym, sk, vk := fuzzKeys(tb)
+	return &Metadata{
+		Attr: Attr{
+			Inode: 9, Kind: types.KindFile,
+			Owner: "alice", Group: "eng", Perm: 0o640,
+			Size: 4096, MTime: 1_700_000_000_000_000_000,
+			DataGen: 3, Flags: 1,
+			ACL: []types.ACLEntry{{User: "bob", Rights: types.TripletRead}},
+		},
+		Keys: KeySet{DEK: sym, DataSeed: sym.Derive("seed"), DVK: vk, DSK: sk, MSK: sk, MetaSeed: sym.Derive("meta")},
+	}
+}
+
+// roundTrip re-encodes a successfully decoded value and checks the second
+// decode reproduces it exactly — the canonical-encoding property every
+// signed codec in this package depends on.
+func roundTrip[T any](t *testing.T, v T, encode func(T) []byte, decode func([]byte) (T, error)) {
+	re := encode(v)
+	v2, err := decode(re)
+	if err != nil {
+		t.Fatalf("re-decode of canonical encoding failed: %v", err)
+	}
+	if !reflect.DeepEqual(v, v2) {
+		t.Fatalf("round trip diverged:\n  %+v\n  %+v", v, v2)
+	}
+}
+
+func FuzzDecodeMetadata(f *testing.F) {
+	m := seedMetadata(f)
+	f.Add(m.Encode())
+	f.Add((&Metadata{Attr: Attr{Inode: 1, Kind: types.KindDir}}).Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Decode(b)
+		if err != nil {
+			return
+		}
+		roundTrip(t, m, func(x *Metadata) []byte { return x.Encode() }, Decode)
+	})
+}
+
+func FuzzDecodeTable(f *testing.F) {
+	sym, _, vk := fuzzKeys(f)
+	tab := &DirTable{Entries: []DirEntry{
+		{Name: "a.txt", Inode: 4, Variant: "u/alice", MEK: sym, MVK: vk},
+		{Name: "b", Inode: 5, Split: true},
+	}}
+	f.Add(tab.Encode())
+	f.Add((&DirTable{}).Encode())
+	f.Add([]byte{0xff, 0x80, 0x80})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		tab, err := DecodeTable(b)
+		if err != nil {
+			return
+		}
+		roundTrip(t, tab, func(x *DirTable) []byte { return x.Encode() }, DecodeTable)
+	})
+}
+
+func FuzzDecodeManifest(f *testing.F) {
+	f.Add((&Manifest{Size: 1 << 30, BlockSize: 4096, NBlocks: 1 << 18, MTime: 77}).Encode())
+	f.Add([]byte{0x80})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := DecodeManifest(b)
+		if err != nil {
+			return
+		}
+		roundTrip(t, m, func(x *Manifest) []byte { return x.Encode() }, DecodeManifest)
+	})
+}
+
+func FuzzDecodeSuperblock(f *testing.F) {
+	sym, _, vk := fuzzKeys(f)
+	f.Add((&Superblock{FSID: "corp", RootInode: 1, RootVariant: "u/alice", RootMEK: sym, RootMVK: vk}).Encode())
+	f.Add((&Superblock{FSID: "x", RootInode: 2, RootVariant: "v"}).Encode())
+	f.Add([]byte{0x01, 'x'})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := DecodeSuperblock(b)
+		if err != nil {
+			return
+		}
+		roundTrip(t, s, func(x *Superblock) []byte { return x.Encode() }, DecodeSuperblock)
+	})
+}
+
+func FuzzDecodeSplitPointer(f *testing.F) {
+	sym, _, vk := fuzzKeys(f)
+	f.Add((&SplitPointer{Inode: 12, Variant: "c/7", MEK: sym, MVK: vk}).Encode())
+	f.Add([]byte{0x0c})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := DecodeSplitPointer(b)
+		if err != nil {
+			return
+		}
+		roundTrip(t, p, func(x *SplitPointer) []byte { return x.Encode() }, DecodeSplitPointer)
+	})
+}

@@ -26,6 +26,7 @@ import (
 	"crypto/rand"
 	"crypto/rsa"
 	"crypto/sha256"
+	"crypto/subtle"
 	"crypto/x509"
 	"errors"
 	"fmt"
@@ -68,7 +69,15 @@ func SymKeyFromBytes(b []byte) (SymKey, error) {
 // IsZero reports whether the key is all zero (the "inaccessible" value).
 func (k SymKey) IsZero() bool {
 	var z SymKey
-	return k == z
+	return k.Equal(z)
+}
+
+// Equal reports whether two symmetric keys are identical, in constant
+// time. Always use this (never == or bytes.Equal) to compare key
+// material: a short-circuiting comparison leaks the length of the
+// matching prefix through timing.
+func (k SymKey) Equal(o SymKey) bool {
+	return subtle.ConstantTimeCompare(k[:], o[:]) == 1
 }
 
 const gcmNonceSize = 12

@@ -122,21 +122,51 @@ func TestSymKeyIsZero(t *testing.T) {
 	}
 }
 
+func TestSymKeyEqual(t *testing.T) {
+	k := NewSymKey()
+	same, err := SymKeyFromBytes(k[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.Equal(same) {
+		t.Error("identical keys not Equal")
+	}
+	if !k.Equal(k) {
+		t.Error("key not Equal to itself")
+	}
+	if k.Equal(NewSymKey()) {
+		t.Error("distinct keys Equal")
+	}
+	// A single flipped bit must break equality (the constant-time compare
+	// covers every byte).
+	for i := 0; i < SymKeySize; i++ {
+		flipped := k
+		flipped[i] ^= 1
+		if k.Equal(flipped) {
+			t.Fatalf("key Equal after flipping byte %d", i)
+		}
+	}
+	var z SymKey
+	if !z.Equal(SymKey{}) {
+		t.Error("zero keys not Equal")
+	}
+}
+
 func TestDeriveDeterministicAndDistinct(t *testing.T) {
 	k := NewSymKey()
 	a := k.Derive("alice")
 	b := k.Derive("alice")
 	c := k.Derive("bob")
-	if a != b {
+	if !a.Equal(b) {
 		t.Error("Derive not deterministic")
 	}
-	if a == c {
+	if a.Equal(c) {
 		t.Error("Derive collision for distinct labels")
 	}
-	if a == k {
+	if a.Equal(k) {
 		t.Error("Derive returned base key")
 	}
-	if NewSymKey().Derive("alice") == a {
+	if NewSymKey().Derive("alice").Equal(a) {
 		t.Error("Derive ignores base key")
 	}
 }
@@ -151,7 +181,11 @@ func TestNameTagDistinctFromDerive(t *testing.T) {
 		t.Error("NameTag not deterministic")
 	}
 	d := k.Derive("file-a")
-	if bytes.Equal(tag[:SymKeySize], d[:]) {
+	tagKey, err := SymKeyFromBytes(tag[:SymKeySize])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tagKey.Equal(d) {
 		t.Error("NameTag and Derive share a keystream")
 	}
 }

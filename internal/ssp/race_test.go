@@ -1,0 +1,87 @@
+package ssp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/sharoes/sharoes/internal/netsim"
+	"github.com/sharoes/sharoes/internal/wire"
+)
+
+// TestConcurrentMixedOps hammers one server with every request type from
+// many clients at once, over deliberately overlapping keys: contention on
+// the store and the per-connection codecs is the point. Run under -race
+// (make race / CI) to make it a data-race detector, not just a smoke test.
+func TestConcurrentMixedOps(t *testing.T) {
+	store := NewMemStore()
+	l := netsim.Listen(netsim.Unlimited)
+	srv := NewServer(store, nil)
+	go srv.Serve(l)
+	defer srv.Close()
+
+	const (
+		workers = 8
+		rounds  = 60
+		shared  = 16 // keys every worker fights over
+	)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(l.Dial, nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < rounds; i++ {
+				key := fmt.Sprintf("shared/k%d", (w+i)%shared)
+				switch i % 6 {
+				case 0:
+					if err := c.Put(wire.NSData, key, []byte(key)); err != nil {
+						errs <- fmt.Errorf("put: %w", err)
+						return
+					}
+				case 1:
+					got, err := c.Get(wire.NSData, key)
+					if err == nil && string(got) != key {
+						errs <- fmt.Errorf("get %s returned %q", key, got)
+						return
+					}
+				case 2:
+					if err := c.Delete(wire.NSData, key); err != nil {
+						errs <- fmt.Errorf("delete: %w", err)
+						return
+					}
+				case 3:
+					if _, err := c.List(wire.NSData, "shared/"); err != nil {
+						errs <- fmt.Errorf("list: %w", err)
+						return
+					}
+				case 4:
+					batch := []wire.KV{
+						{NS: wire.NSData, Key: key, Val: []byte(key)},
+						{NS: wire.NSMeta, Key: key, Val: []byte("m")},
+					}
+					if err := c.BatchPut(batch); err != nil {
+						errs <- fmt.Errorf("batchput: %w", err)
+						return
+					}
+				default:
+					if _, err := c.Stats(); err != nil {
+						errs <- fmt.Errorf("stats: %w", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -193,7 +193,9 @@ func decodeStats(items []wire.KV) (Stats, error) {
 	for _, it := range items {
 		n, err := strconv.ParseInt(string(it.Val), 10, 64)
 		if err != nil {
-			return st, fmt.Errorf("ssp: bad stats value %q: %w", it.Val, err)
+			// Report the key and length only: stats values are supposed to
+			// be small decimal strings, but a hostile peer controls them.
+			return st, fmt.Errorf("ssp: bad stats value for %q (%d bytes): %w", it.Key, len(it.Val), err)
 		}
 		switch it.Key {
 		case "objects":

@@ -1,0 +1,96 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+// corruptFrames is the table of malformed payloads shared by the decode
+// error-path tests and the fuzz seed corpus: truncated frames, oversized
+// length prefixes, and plain garbage. Decoders must return ErrBadMessage
+// (never panic, never over-allocate) for all of them.
+var corruptFrames = []struct {
+	name string
+	b    []byte
+}{
+	{"empty", nil},
+	{"op only", []byte{byte(OpGet)}},
+	{"op+ns only", []byte{byte(OpGet), byte(NSMeta)}},
+	{"truncated key length", []byte{byte(OpGet), byte(NSMeta), 0x80}},
+	{"key length past end", []byte{byte(OpGet), byte(NSMeta), 10, 'a'}},
+	{"huge key length", []byte{byte(OpGet), byte(NSMeta), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}},
+	{"val length past end", []byte{byte(OpPut), byte(NSData), 1, 'k', 200}},
+	{"missing prefix", []byte{byte(OpList), byte(NSMeta), 0, 0}},
+	{"truncated item count", []byte{byte(OpBatchPut), byte(NSMeta), 0, 0, 0, 0x80}},
+	{"absurd item count", []byte{byte(OpBatchPut), byte(NSMeta), 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0x0f}},
+	{"item truncated mid-kv", []byte{byte(OpBatchPut), byte(NSMeta), 0, 0, 0, 2, byte(NSData), 1, 'x', 0, 1, byte(NSData)}},
+	{"kv missing delete byte", []byte{byte(OpBatchPut), byte(NSMeta), 0, 0, 0, 1, byte(NSData), 1, 'x', 0}},
+	{"all 0xff", []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}},
+	{"overlong varint", []byte{byte(OpGet), byte(NSMeta), 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02}},
+}
+
+func TestDecodeRequestErrorPaths(t *testing.T) {
+	for _, tc := range corruptFrames {
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := DecodeRequest(tc.b)
+			if err == nil {
+				// A frame that happens to parse must at least be
+				// re-encodable; nothing in this table should be.
+				t.Fatalf("DecodeRequest accepted %q: %+v", tc.name, q)
+			}
+			if !errors.Is(err, ErrBadMessage) {
+				t.Fatalf("error not ErrBadMessage: %v", err)
+			}
+			if q != nil {
+				t.Fatalf("non-nil request alongside error")
+			}
+		})
+	}
+}
+
+func TestDecodeResponseErrorPaths(t *testing.T) {
+	// Responses have a different field layout; reuse the shapes that are
+	// malformed for both plus response-specific ones.
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", nil},
+		{"status only", []byte{byte(StatusOK)}},
+		{"truncated err string", []byte{byte(StatusError), 5, 'o'}},
+		{"val length past end", []byte{byte(StatusOK), 0, 200}},
+		{"truncated item count", []byte{byte(StatusOK), 0, 0, 0x80}},
+		{"absurd item count", []byte{byte(StatusOK), 0, 0, 0xff, 0xff, 0xff, 0x0f}},
+		{"item truncated", []byte{byte(StatusOK), 0, 0, 1, byte(NSData), 1}},
+		{"all 0xff", []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := DecodeResponse(tc.b)
+			if err == nil {
+				t.Fatalf("DecodeResponse accepted %q: %+v", tc.name, p)
+			}
+			if !errors.Is(err, ErrBadMessage) {
+				t.Fatalf("error not ErrBadMessage: %v", err)
+			}
+			if p != nil {
+				t.Fatalf("non-nil response alongside error")
+			}
+		})
+	}
+}
+
+// TestDecodeRequestTrailingBytesTolerated documents the contract for
+// well-formed prefixes: decoding consumes the fields it knows about and
+// ignores trailing bytes (forward compatibility for appended fields).
+func TestDecodeRequestTrailingBytes(t *testing.T) {
+	q := &Request{Op: OpGet, NS: NSMeta, Key: "k"}
+	b := append(q.Encode(), 0xde, 0xad)
+	got, err := DecodeRequest(b)
+	if err != nil {
+		t.Fatalf("trailing bytes rejected: %v", err)
+	}
+	if got.Op != OpGet || got.Key != "k" {
+		t.Fatalf("fields corrupted by trailing bytes: %+v", got)
+	}
+}

@@ -29,6 +29,20 @@ type AndrewConfig struct {
 	SourceBytes int // approximate total source size
 	CompileCost int // hash iterations per source byte (CPU work)
 	Seed        int64
+	// RNG, when non-nil, is the injected generator driving the synthetic
+	// source tree; otherwise a fresh one is derived from Seed. Injection
+	// lets a harness share one seeded stream across benchmarks (and keeps
+	// every run reproducible — this package never touches the global
+	// math/rand state).
+	RNG *rand.Rand
+}
+
+// rng returns the injected generator, or a fresh seeded one.
+func (c AndrewConfig) rng() *rand.Rand {
+	if c.RNG != nil {
+		return c.RNG
+	}
+	return rand.New(rand.NewSource(c.Seed))
 }
 
 // PaperAndrew approximates the original benchmark's source tree
@@ -70,9 +84,9 @@ func (r AndrewResult) Total() time.Duration {
 	return t
 }
 
-// sourceTree generates the deterministic synthetic source tree.
-func sourceTree(cfg AndrewConfig) map[string][]byte {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+// sourceTree generates the deterministic synthetic source tree from the
+// supplied generator.
+func sourceTree(cfg AndrewConfig, rng *rand.Rand) map[string][]byte {
 	files := make(map[string][]byte, cfg.SourceFiles)
 	per := cfg.SourceBytes / cfg.SourceFiles
 	for i := 0; i < cfg.SourceFiles; i++ {
@@ -104,7 +118,7 @@ func compile(src []byte, cost int) []byte {
 // reports per phase are real fetch-and-decrypt costs).
 func Andrew(fs vfs.FS, cfg AndrewConfig) (AndrewResult, error) {
 	var res AndrewResult
-	src := sourceTree(cfg)
+	src := sourceTree(cfg, cfg.rng())
 
 	// Phase 1: make the directory skeleton.
 	start := time.Now()

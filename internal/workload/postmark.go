@@ -21,6 +21,19 @@ type PostmarkConfig struct {
 	// spools shard directories in practice).
 	Subdirs int
 	Seed    int64
+	// RNG, when non-nil, is the injected generator driving transaction
+	// choice and payloads; otherwise a fresh one is derived from Seed.
+	// This package never touches the global math/rand state, so runs are
+	// reproducible from (Seed, config) alone.
+	RNG *rand.Rand
+}
+
+// rng returns the injected generator, or a fresh seeded one.
+func (c PostmarkConfig) rng() *rand.Rand {
+	if c.RNG != nil {
+		return c.RNG
+	}
+	return rand.New(rand.NewSource(c.Seed))
 }
 
 // PaperPostmark is the paper's configuration (Postmark defaults).
@@ -70,7 +83,7 @@ type PostmarkResult struct {
 // read / append / create / delete transactions.
 func Postmark(fs vfs.FS, cfg PostmarkConfig) (PostmarkResult, error) {
 	var res PostmarkResult
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.rng()
 	size := func() int { return cfg.MinSize + rng.Intn(cfg.MaxSize-cfg.MinSize+1) }
 	payload := func(n int) []byte {
 		b := make([]byte, n)
