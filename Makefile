@@ -20,7 +20,7 @@ FUZZ_TARGETS := \
 
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race fuzz-smoke check
+.PHONY: all build test vet vet-self race fuzz-smoke check
 
 all: build
 
@@ -31,9 +31,16 @@ test:
 	$(GO) test ./...
 
 # vet = the stock toolchain vet plus the repo's own security-invariant
-# analyzers (key leaks, AAD binding, seeded randomness, error hygiene).
+# analyzers (key leaks, AAD binding, seeded randomness, error hygiene,
+# untrusted-input verification, key egress).
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/sharoes-vet ./...
+
+# vet-self runs all six sharoes-vet analyzers over the whole module and
+# fails on any unsuppressed finding (exit 1) or load error (exit 2).
+# See docs/ANALYZERS.md for the source/sanitizer/sink tables.
+vet-self:
 	$(GO) run ./cmd/sharoes-vet ./...
 
 # race runs the packages with dedicated concurrency stress tests under

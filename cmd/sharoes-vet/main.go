@@ -4,12 +4,18 @@
 //	sharoes-vet ./...                 # whole module
 //	sharoes-vet ./internal/ssp        # one package
 //	sharoes-vet -list                 # describe the analyzers
+//	sharoes-vet -json ./...           # machine-readable findings
 //
-// It prints findings in file:line:col form and exits 1 when any invariant
-// is violated, 0 on a clean tree.
+// It prints findings in file:line:col form (or, with -json, as a JSON
+// array of {analyzer, file, line, col, message} objects) and exits with:
+//
+//	0  clean tree
+//	1  at least one unsuppressed finding
+//	2  usage or load/type-check error
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,9 +24,26 @@ import (
 	"github.com/sharoes/sharoes/internal/analysis"
 )
 
+// Exit codes, part of the tool's contract with CI and editors.
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitError    = 2
+)
+
+// jsonFinding is the -json output shape for one finding.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	only := flag.String("run", "", "comma-separated analyzer names to run (default all)")
+	asJSON := flag.Bool("json", false, "print findings as a JSON array on stdout")
 	flag.Parse()
 
 	analyzers := analysis.Analyzers()
@@ -44,7 +67,7 @@ func main() {
 				// tool; fail loudly and say what exists.
 				fmt.Fprintf(os.Stderr, "sharoes-vet: unknown analyzer %q in -run (have: %s)\n",
 					n, strings.Join(analyzerNames(analyzers), ", "))
-				os.Exit(2)
+				os.Exit(exitError)
 			}
 			sel = append(sel, a)
 		}
@@ -68,20 +91,40 @@ func main() {
 		fatal(err)
 	}
 
-	bad := false
+	var all []analysis.Finding
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
 			fatal(err)
 		}
-		for _, f := range analysis.Run(pkg, analyzers) {
-			bad = true
+		all = append(all, analysis.Run(pkg, analyzers)...)
+	}
+
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(all))
+		for _, f := range all {
+			out = append(out, jsonFinding{
+				Analyzer: f.Analyzer,
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range all {
 			fmt.Println(f)
 		}
 	}
-	if bad {
-		os.Exit(1)
+	if len(all) > 0 {
+		os.Exit(exitFindings)
 	}
+	os.Exit(exitClean)
 }
 
 func analyzerNames(as []analysis.Analyzer) []string {
@@ -94,5 +137,5 @@ func analyzerNames(as []analysis.Analyzer) []string {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "sharoes-vet:", err)
-	os.Exit(2)
+	os.Exit(exitError)
 }

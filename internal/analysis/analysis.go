@@ -5,7 +5,7 @@
 // predictable key source is a full compromise, so these properties are
 // checked mechanically on every build rather than by review.
 //
-// Four analyzers are provided:
+// Six analyzers are provided:
 //
 //   - keyleak:   no fmt.* / log.* argument whose static type is or contains
 //     sharocrypto.SymKey, SignKey or PrivateKey, nor raw key bytes obtained
@@ -17,6 +17,14 @@
 //     deterministic benchmark traffic, never key material).
 //   - errstring: wire/ssp error and log strings must not embed blob
 //     contents ([]byte values, KV structs, or string(blob) conversions).
+//   - unverified: taint-flow — bytes from untrusted sources (SSP reads,
+//     wire decoding, netsim reads) must pass an authenticating sanitizer
+//     (AEAD Open, signature Verify, the meta/cap openers) before reaching
+//     trusted sinks: exported client return values, cache inserts,
+//     layout/cap key-selection decisions.
+//   - keyegress: taint-flow — key-typed values and raw key bytes must be
+//     sealed (AEAD Seal, RSA-OAEP wrap, the meta/cap sealers) before
+//     flowing into wire encoders, SSP store writes, or file writes.
 //
 // The suite is self-contained: it uses only go/parser, go/ast and go/types
 // from the standard library, so the repo stays offline-buildable with no
@@ -73,7 +81,7 @@ type Analyzer interface {
 
 // Analyzers returns the full sharoes-vet suite.
 func Analyzers() []Analyzer {
-	return []Analyzer{KeyLeak{}, AADBind{}, RawRand{}, ErrString{}}
+	return []Analyzer{KeyLeak{}, AADBind{}, RawRand{}, ErrString{}, Unverified{}, KeyEgress{}}
 }
 
 // Run executes the analyzers over p, drops suppressed findings, and

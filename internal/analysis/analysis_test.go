@@ -136,6 +136,69 @@ func TestErrStringScopedToWireAndSSP(t *testing.T) {
 	}
 }
 
+func TestUnverified(t *testing.T) {
+	bad := runOne(t, Unverified{}, filepath.Join("unverifiedbad", "internal", "client"))
+	if len(bad) != 4 {
+		t.Fatalf("unverifiedbad: got %d findings, want 4:\n%s", len(bad), findingsText(bad))
+	}
+	wantSubstr := []string{
+		"exported client return value of Fetch",
+		"exported client return value of FetchVia",
+		"cache insert",
+		"key-selection cap.MEKFor",
+	}
+	for i, f := range bad {
+		if f.Analyzer != "unverified" {
+			t.Errorf("finding %d: analyzer %q", i, f.Analyzer)
+		}
+		if !strings.Contains(f.Message, wantSubstr[i]) {
+			t.Errorf("finding %d: message %q does not mention %q", i, f.Message, wantSubstr[i])
+		}
+	}
+	if good := runOne(t, Unverified{}, filepath.Join("unverifiedgood", "internal", "client")); len(good) != 0 {
+		t.Fatalf("unverifiedgood: unexpected findings:\n%s", findingsText(good))
+	}
+}
+
+func TestUnverifiedDirectiveIsRequired(t *testing.T) {
+	// unverifiedgood's Raw method returns unverified bytes behind an allow
+	// directive: without Run's suppression pass it IS a violation.
+	p := fixturePkg(t, filepath.Join("unverifiedgood", "internal", "client"))
+	if raw := (Unverified{}).Check(p); len(raw) != 1 {
+		t.Fatalf("raw unverified findings in unverifiedgood: got %d, want 1 (the suppressed site)", len(raw))
+	}
+}
+
+func TestKeyEgress(t *testing.T) {
+	bad := runOne(t, KeyEgress{}, "keyegressbad")
+	if len(bad) != 5 {
+		t.Fatalf("keyegressbad: got %d findings, want 5:\n%s", len(bad), findingsText(bad))
+	}
+	wantSubstr := []string{
+		"wire.KV literal",
+		"wire.Request literal",
+		"wire encoder wire.Encode",
+		"store write ssp.Put",
+		"file write os.WriteFile",
+	}
+	for i, f := range bad {
+		if f.Analyzer != "keyegress" {
+			t.Errorf("finding %d: analyzer %q", i, f.Analyzer)
+		}
+		if !strings.Contains(f.Message, wantSubstr[i]) {
+			t.Errorf("finding %d: message %q does not mention %q", i, f.Message, wantSubstr[i])
+		}
+	}
+	// The base64-laundered Marshal flow must be reported as raw key bytes:
+	// encoding is not sealing, and module-opacity must not launder it.
+	if !strings.Contains(bad[4].Message, "raw key bytes (Marshal)") {
+		t.Errorf("file-write finding %q does not identify raw key bytes", bad[4].Message)
+	}
+	if good := runOne(t, KeyEgress{}, "keyegressgood"); len(good) != 0 {
+		t.Fatalf("keyegressgood: unexpected findings:\n%s", findingsText(good))
+	}
+}
+
 func TestRunSortsAndAggregates(t *testing.T) {
 	p := fixturePkg(t, "keyleakbad")
 	got := Run(p, Analyzers())
@@ -172,6 +235,12 @@ func TestVetCleanTree(t *testing.T) {
 		filepath.Join("..", "baseline"),
 		filepath.Join("..", "client"),
 		filepath.Join("..", "workload"),
+		filepath.Join("..", "cache"),
+		filepath.Join("..", "cap"),
+		filepath.Join("..", "keys"),
+		filepath.Join("..", "layout"),
+		filepath.Join("..", "meta"),
+		filepath.Join("..", "netsim"),
 	} {
 		loaderOnce.Do(func() { loader, loaderErr = NewLoader(".") })
 		if loaderErr != nil {

@@ -1,0 +1,43 @@
+// Package keyegressgood is a sharoes-vet test fixture: key material is
+// always sealed or wrapped before it leaves the client, and key-typed
+// values handed to other module packages are their responsibility —
+// keyegress must stay silent.
+package keyegressgood
+
+import (
+	"github.com/sharoes/sharoes/internal/meta"
+	"github.com/sharoes/sharoes/internal/sharocrypto"
+	"github.com/sharoes/sharoes/internal/ssp"
+	"github.com/sharoes/sharoes/internal/wire"
+)
+
+// GoodKV wraps the key under the recipient's public key first.
+func GoodKV(k sharocrypto.SymKey, pub sharocrypto.PublicKey) (wire.KV, error) {
+	wrapped, err := pub.SealChunked(k[:])
+	if err != nil {
+		return wire.KV{}, err
+	}
+	return wire.KV{NS: wire.NSData, Key: "k", Val: wrapped}, nil
+}
+
+// GoodStore seals the payload under a data key before the store write.
+func GoodStore(st ssp.BlobStore, dek sharocrypto.SymKey, plain []byte) error {
+	return st.Put(wire.NSData, "k", dek.Seal(plain, []byte("ctx")))
+}
+
+// GoodSuper stores a key-bearing superblock only in sealed form.
+func GoodSuper(st ssp.BlobStore, mek sharocrypto.SymKey, mvk sharocrypto.VerifyKey, pub sharocrypto.PublicKey) error {
+	sb := &meta.Superblock{FSID: "fs", RootVariant: "o", RootMEK: mek, RootMVK: mvk}
+	sealed, err := meta.SealSuperblock(sb, pub)
+	if err != nil {
+		return err
+	}
+	return st.Put(wire.NSSuper, "sb", sealed)
+}
+
+// GoodTag stores a name tag: derived FROM a key by a module package, but
+// itself public — module-internal calls are trusted with key values.
+func GoodTag(st ssp.BlobStore, k sharocrypto.SymKey, name string) error {
+	tag := k.NameTag(name)
+	return st.Put(wire.NSData, "t", tag[:])
+}

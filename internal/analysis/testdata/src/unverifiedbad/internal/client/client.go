@@ -1,0 +1,58 @@
+// Package client is a sharoes-vet test fixture (path suffix
+// internal/client): every flow below moves unverified SSP/wire bytes
+// across the trust boundary and must be flagged by unverified.
+package client
+
+import (
+	"github.com/sharoes/sharoes/internal/cache"
+	"github.com/sharoes/sharoes/internal/cap"
+	"github.com/sharoes/sharoes/internal/sharocrypto"
+	"github.com/sharoes/sharoes/internal/ssp"
+	"github.com/sharoes/sharoes/internal/wire"
+)
+
+// Client mirrors the real client shape: an untrusted store and a cache.
+type Client struct {
+	store ssp.BlobStore
+	cache *cache.Cache
+}
+
+// Fetch returns an SSP read with no Open/Verify on the path.
+func (c *Client) Fetch(key string) ([]byte, error) {
+	blob, err := c.store.Get(wire.NSData, key)
+	if err != nil {
+		return nil, err
+	}
+	return blob, nil // finding: unverified bytes returned from exported API
+}
+
+// fetchRaw introduces the taint in a helper...
+func (c *Client) fetchRaw(key string) ([]byte, error) {
+	return c.store.Get(wire.NSData, key)
+}
+
+// FetchVia ...and the caller leaks it: the cross-function summary case.
+func (c *Client) FetchVia(key string) ([]byte, error) {
+	return c.fetchRaw(key) // finding: taint introduced in callee, sunk here
+}
+
+// CacheResponse inserts decoded-but-unverified wire payloads into the
+// cache, poisoning later reads.
+func (c *Client) CacheResponse(payload []byte) error {
+	resp, err := wire.DecodeResponse(payload)
+	if err != nil {
+		return err
+	}
+	for _, it := range resp.Items {
+		c.cache.Put(it.Key, it.Val, int64(len(it.Val))) // finding: cache insert
+	}
+	return nil
+}
+
+// selectKey derives an object key from unverified bytes — the SSP would
+// get to steer which key the client trusts.
+func (c *Client) selectKey() sharocrypto.SymKey {
+	blob, _ := c.store.Get(wire.NSMeta, "seed")
+	seed, _ := sharocrypto.SymKeyFromBytes(blob)
+	return cap.MEKFor(seed, "o") // finding: key-selection from unverified input
+}

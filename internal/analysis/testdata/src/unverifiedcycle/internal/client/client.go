@@ -1,0 +1,48 @@
+// Package client is a sharoes-vet test fixture (path suffix
+// internal/client) for the summary engine's fixpoint: the taint flows
+// through a mutually recursive pair, so a naive bottom-up pass would
+// never converge. The engine must terminate AND still report the leak.
+package client
+
+import (
+	"github.com/sharoes/sharoes/internal/ssp"
+	"github.com/sharoes/sharoes/internal/wire"
+)
+
+// Client holds the untrusted store.
+type Client struct {
+	store ssp.BlobStore
+}
+
+func (c *Client) even(n int, key string) ([]byte, error) {
+	if n == 0 {
+		return c.store.Get(wire.NSData, key)
+	}
+	return c.odd(n-1, key)
+}
+
+func (c *Client) odd(n int, key string) ([]byte, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	return c.even(n-1, key)
+}
+
+// Spin returns bytes that reached it through the even/odd cycle.
+func (c *Client) Spin(key string) ([]byte, error) {
+	return c.even(8, key) // finding: unverified bytes through recursion
+}
+
+// loop is self-recursive with a sanitizer nowhere on the path.
+func (c *Client) loop(depth int) []byte {
+	if depth <= 0 {
+		blob, _ := c.store.Get(wire.NSData, "x")
+		return blob
+	}
+	return c.loop(depth - 1)
+}
+
+// Tail leaks the self-recursive result.
+func (c *Client) Tail() []byte {
+	return c.loop(3) // finding: unverified bytes through self-recursion
+}

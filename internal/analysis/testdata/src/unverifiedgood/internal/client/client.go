@@ -1,0 +1,64 @@
+// Package client is a sharoes-vet test fixture (path suffix
+// internal/client): every flow below authenticates untrusted bytes
+// before they cross the trust boundary, so unverified must stay silent.
+package client
+
+import (
+	"github.com/sharoes/sharoes/internal/cache"
+	"github.com/sharoes/sharoes/internal/meta"
+	"github.com/sharoes/sharoes/internal/sharocrypto"
+	"github.com/sharoes/sharoes/internal/ssp"
+	"github.com/sharoes/sharoes/internal/wire"
+)
+
+// Client mirrors the real client shape.
+type Client struct {
+	store ssp.BlobStore
+	cache *cache.Cache
+	mek   sharocrypto.SymKey
+	mvk   sharocrypto.VerifyKey
+}
+
+// Fetch opens (decrypt + verify) the blob before returning it.
+func (c *Client) Fetch(key string, aad []byte) ([]byte, error) {
+	blob, err := c.store.Get(wire.NSData, key)
+	if err != nil {
+		return nil, err
+	}
+	return meta.OpenVerified(c.mek, c.mvk, aad, blob)
+}
+
+// FetchSigned verifies the detached signature in place, then trusts the
+// blob — the Verify-blesses-its-argument pattern.
+func (c *Client) FetchSigned(key string, sig []byte) ([]byte, error) {
+	blob, err := c.store.Get(wire.NSData, key)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.mvk.Verify(blob, sig); err != nil {
+		return nil, err
+	}
+	return blob, nil
+}
+
+// CacheOpened inserts only authenticated plaintext into the cache.
+func (c *Client) CacheOpened(key string, aad []byte) error {
+	blob, err := c.store.Get(wire.NSData, key)
+	if err != nil {
+		return err
+	}
+	pt, err := meta.OpenVerified(c.mek, c.mvk, aad, blob)
+	if err != nil {
+		return err
+	}
+	c.cache.Put(key, pt, int64(len(pt)))
+	return nil
+}
+
+// Raw returns unverified bytes behind an explicit, justified allow —
+// the fixture that proves the directive (not the analyzer) silences it.
+func (c *Client) Raw(key string) []byte {
+	blob, _ := c.store.Get(wire.NSData, key)
+	//sharoes-vet:allow unverified fixture exercises directive suppression
+	return blob
+}

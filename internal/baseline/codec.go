@@ -34,7 +34,9 @@ func (s *Session) fetchMeta(ino types.Inode) (*bMeta, error) {
 		if m, err = decodeBMeta(blob); err != nil {
 			return nil, err
 		}
-		s.cache.Put(key, m, int64(len(blob)))
+		// NO-ENC baselines store metadata in plaintext with no MAC — the
+		// measured design point is exactly "skip the trust boundary".
+		s.cache.Put(key, m, int64(len(blob))) //sharoes-vet:allow unverified NO-ENC baseline caches unauthenticated metadata by design
 	case Public:
 		blob, err := s.store.Get(wire.NSMeta, s.metaKey(ino))
 		if errors.Is(err, wire.ErrNotFound) {
@@ -51,10 +53,12 @@ func (s *Session) fetchMeta(ino types.Inode) (*bMeta, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", types.ErrTampered, err)
 		}
-		if m, err = decodeBMeta(pt); err != nil {
+		md, err := decodeBMeta(pt)
+		if err != nil {
 			return nil, err
 		}
-		s.cache.Put(key, m, int64(len(blob)))
+		s.cache.Put(key, md, int64(len(blob)))
+		m = md
 	case PubOpt:
 		items, err := s.store.BatchGet([]wire.KV{
 			{NS: wire.NSMeta, Key: s.metaKey(ino)},
@@ -90,10 +94,12 @@ func (s *Session) fetchMeta(ino types.Inode) (*bMeta, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", types.ErrTampered, err)
 		}
-		if m, err = decodeBMeta(pt); err != nil {
+		md, err := decodeBMeta(pt)
+		if err != nil {
 			return nil, err
 		}
-		s.cache.Put(key, m, int64(len(body)))
+		s.cache.Put(key, md, int64(len(body)))
+		m = md
 	default:
 		return nil, fmt.Errorf("baseline: unknown mode %v", s.mode)
 	}
@@ -227,7 +233,9 @@ func (s *Session) fetchTable(m *bMeta) (*bTable, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.cache.Put(key, t, int64(len(blob)))
+	// In the NO-ENC modes openData passes the blob through unauthenticated;
+	// the encrypted modes Open() it above.
+	s.cache.Put(key, t, int64(len(blob))) //sharoes-vet:allow unverified NO-ENC baseline caches unauthenticated tables by design
 	return t.clone(), nil
 }
 

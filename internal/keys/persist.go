@@ -31,7 +31,9 @@ func (u *User) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("keys: save user: %w", err)
 	}
-	return os.WriteFile(path, blob, 0o600)
+	// The key file is the user's own trust root on their own machine,
+	// written with owner-only permissions — not SSP egress.
+	return os.WriteFile(path, blob, 0o600) //sharoes-vet:allow keyegress local user key file (0600) is the user's own trust root
 }
 
 // LoadUser reads a user key saved by Save.
