@@ -46,7 +46,7 @@ vet-self:
 # race runs the packages with dedicated concurrency stress tests under
 # the race detector.
 race:
-	$(GO) test -race ./internal/client ./internal/ssp ./internal/cache
+	$(GO) test -race ./internal/client ./internal/ssp ./internal/cache ./internal/obs
 
 # fuzz-smoke runs every fuzz target for a short burst — enough to catch
 # regressions on the saved corpus plus a little fresh exploration.

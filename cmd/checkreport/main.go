@@ -1,0 +1,34 @@
+// Command checkreport validates a sharoes-bench machine-readable report
+// (schema sharoes-bench/v1). CI runs it against the bench smoke step's
+// output so schema regressions fail the build; exit 0 means the file
+// parses and satisfies every invariant workload.ValidateReport checks.
+//
+// Usage: checkreport report.json [more.json ...]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/sharoes/sharoes/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("checkreport: ")
+	if len(os.Args) < 2 {
+		log.Fatal("usage: checkreport report.json [more.json ...]")
+	}
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := workload.ParseReport(data)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		fmt.Printf("%s: ok (%s, figure %s, %d rows)\n", path, rep.Schema, rep.Figure, len(rep.Rows))
+	}
+}

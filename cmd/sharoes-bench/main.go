@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"github.com/sharoes/sharoes/internal/netsim"
+	"github.com/sharoes/sharoes/internal/obs"
 	"github.com/sharoes/sharoes/internal/workload"
 )
 
@@ -34,6 +35,8 @@ func main() {
 	scheme := flag.String("scheme", "scheme2", "Sharoes layout scheme")
 	sweep := flag.String("sweep", "0,20,40,60,80,100", "cache percentages for figure 10")
 	reps := flag.Int("reps", 1, "average each measurement over this many runs (the paper used 10)")
+	jsonPath := flag.String("json", "", "write the figure's machine-readable report ("+workload.ReportSchema+" JSON) to this path; figures 9 and 10 only")
+	tracePath := flag.String("trace", "", "instead of a figure, run a traced SHAROES Create-and-List and write a Chrome trace_event JSON to this path")
 	flag.Parse()
 
 	var prof netsim.Profile
@@ -52,6 +55,29 @@ func main() {
 		Scale:   *scale,
 		Reps:    *reps,
 	}
+
+	if *tracePath != "" {
+		if err := captureTrace(*tracePath, opts); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *tracePath)
+		return
+	}
+	if *jsonPath != "" && *fig != "9" && *fig != "10" {
+		log.Fatalf("-json needs -fig 9 or -fig 10 (machine-readable reports exist for those figures)")
+	}
+	writeJSON := func(rep workload.BenchReport) error {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := workload.WriteReport(f, rep); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
 	fmt.Printf("sharoes-bench: profile=%s scale=1/%d scheme=%s\n\n", *profile, *scale, *scheme)
 
 	run := func(name string, f func() error) {
@@ -71,6 +97,9 @@ func main() {
 			return err
 		}
 		workload.PrintFig9(os.Stdout, rows)
+		if *jsonPath != "" {
+			return writeJSON(workload.Fig9Report(rows, *profile, *scale, *scheme))
+		}
 		return nil
 	})
 	run("10", func() error {
@@ -83,6 +112,9 @@ func main() {
 			return err
 		}
 		workload.PrintFig10(os.Stdout, rows)
+		if *jsonPath != "" {
+			return writeJSON(workload.Fig10Report(rows, *profile, *scale, *scheme))
+		}
 		return nil
 	})
 	var andrewRows []workload.Fig11Row
@@ -122,6 +154,32 @@ func main() {
 		workload.PrintScheme(os.Stdout, rows)
 		return nil
 	})
+}
+
+// captureTrace runs a traced SHAROES Create-and-List and exports the
+// client and SSP span sets as one Chrome trace_event document; the SSP
+// spans join the client traces through the wire trace IDs.
+func captureTrace(path string, opts workload.FigureOptions) error {
+	o := opts.Options
+	o.Trace = true
+	sys, err := workload.Build(workload.SysSharoes, o)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	cfg := workload.PaperCreateList.Scaled(opts.Scale)
+	if _, err := workload.CreateList(sys.FS, sys.Rec, cfg); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, sys.Tracer.Spans(), sys.ServerTracer.Spans()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseSweep(s string) ([]int, error) {

@@ -6,6 +6,13 @@
 // Usage:
 //
 //	sharoes-ssp [-addr :7070] [-store mem|disk] [-dir ./ssp-data]
+//	            [-debug-addr :7071] [-grace 10s]
+//
+// On SIGINT or SIGTERM the server drains gracefully: it stops accepting,
+// lets in-flight requests finish (bounded by -grace), then writes a final
+// metrics snapshot to stderr. With -debug-addr set, a debug HTTP server
+// exposes the live metrics registry as JSON at /metrics plus the standard
+// net/http/pprof handlers under /debug/pprof/.
 package main
 
 import (
@@ -13,10 +20,14 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"github.com/sharoes/sharoes/internal/obs"
 	"github.com/sharoes/sharoes/internal/ssp"
 )
 
@@ -24,6 +35,8 @@ func main() {
 	addr := flag.String("addr", ":7070", "listen address")
 	storeKind := flag.String("store", "mem", "storage backend: mem or disk")
 	dir := flag.String("dir", "./ssp-data", "data directory for -store disk")
+	debugAddr := flag.String("debug-addr", "", "optional debug HTTP address serving /metrics and /debug/pprof/")
+	grace := flag.Duration("grace", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
 	flag.Parse()
 
 	var store ssp.BlobStore
@@ -45,16 +58,48 @@ func main() {
 		log.Fatalf("sharoes-ssp: listen: %v", err)
 	}
 	server := ssp.NewServer(store, log.New(os.Stderr, "ssp: ", log.LstdFlags))
+	reg := obs.NewRegistry()
+	server.Observe(reg, nil)
 	fmt.Printf("sharoes-ssp: serving %s store on %s\n", *storeKind, lis.Addr())
+
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, reg)
+	}
 
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-done
-		fmt.Println("\nsharoes-ssp: shutting down")
-		server.Close()
+		fmt.Fprintf(os.Stderr, "sharoes-ssp: draining (grace %v)\n", *grace)
+		server.Shutdown(*grace)
+		fmt.Fprintln(os.Stderr, "sharoes-ssp: final metrics snapshot:")
+		if err := reg.WriteJSON(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "sharoes-ssp: metrics flush: %v\n", err)
+		}
+		fmt.Fprintln(os.Stderr)
 	}()
 	if err := server.Serve(lis); err != nil {
 		log.Fatalf("sharoes-ssp: %v", err)
+	}
+}
+
+// serveDebug runs the optional operator endpoint. It must never be
+// exposed on the service address: pprof handlers are for trusted
+// operators only.
+func serveDebug(addr string, reg *obs.Registry) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("sharoes-ssp: debug server: %v", err)
 	}
 }

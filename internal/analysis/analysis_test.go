@@ -63,6 +63,40 @@ func TestKeyLeak(t *testing.T) {
 	}
 }
 
+// TestKeyLeakObs pins the observability sinks: span annotations and
+// metric names are exported (trace files, -debug-addr), so key material
+// routed into them — however laundered — must be flagged, while the
+// fixed-operation-name idioms the real instrumentation uses must not.
+func TestKeyLeakObs(t *testing.T) {
+	bad := runOne(t, KeyLeak{}, "obsleakbad")
+	if len(bad) != 5 {
+		t.Fatalf("obsleakbad: got %d findings, want 5:\n%s", len(bad), findingsText(bad))
+	}
+	wantSubstr := []string{
+		"via string conversion", // Annotate(string(k[:]))
+		"via fmt.Sprintf",       // Annotate(fmt.Sprintf(..., k))
+		"key-bearing type",      // k inside the Sprintf itself
+		"via string conversion", // Counter("op." + string(k[:]))
+		"via string conversion", // Histogram(string(sk.Marshal()))
+	}
+	for i, f := range bad {
+		if f.Analyzer != "keyleak" {
+			t.Errorf("finding %d: analyzer %q", i, f.Analyzer)
+		}
+		if !strings.Contains(f.Message, wantSubstr[i]) {
+			t.Errorf("finding %d: message %q does not mention %q", i, f.Message, wantSubstr[i])
+		}
+	}
+	for i, f := range bad[:2] {
+		if !strings.Contains(f.Message, "obs.Annotate") {
+			t.Errorf("finding %d: message %q does not name the obs.Annotate sink", i, f.Message)
+		}
+	}
+	if good := runOne(t, KeyLeak{}, "obsleakgood"); len(good) != 0 {
+		t.Fatalf("obsleakgood: unexpected findings:\n%s", findingsText(good))
+	}
+}
+
 func TestAADBind(t *testing.T) {
 	bad := runOne(t, AADBind{}, "aadbindbad")
 	if len(bad) != 3 {

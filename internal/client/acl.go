@@ -14,7 +14,7 @@ import (
 func (s *Session) GetACL(path string) ([]types.ACLEntry, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.rec.AddOp()
+	defer s.beginOp("getacl")()
 	_, m, err := s.resolve(path)
 	if err != nil {
 		return nil, pathErr("getacl", path, err)
@@ -32,7 +32,7 @@ func (s *Session) GetACL(path string) ([]types.ACLEntry, error) {
 func (s *Session) SetACL(path string, user types.UserID, rights types.Triplet) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.rec.AddOp()
+	defer s.beginOp("setacl")()
 	return pathErrNil("setacl", path, s.setACL(path, user, &rights))
 }
 
@@ -41,7 +41,7 @@ func (s *Session) SetACL(path string, user types.UserID, rights types.Triplet) e
 func (s *Session) RemoveACL(path string, user types.UserID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.rec.AddOp()
+	defer s.beginOp("removeacl")()
 	return pathErrNil("removeacl", path, s.setACL(path, user, nil))
 }
 

@@ -15,7 +15,7 @@ import (
 // sealMetaVariants seals every CAP copy of the metadata and invalidates
 // the local cache for the object's metadata.
 func (s *Session) sealMetaVariants(m *meta.Metadata) []wire.KV {
-	stop := s.crypto()
+	stop := s.crypto("seal-meta")
 	kvs := layout.BuildMetaKVs(s.eng, m)
 	stop()
 	s.cache.DeletePrefix(ckMeta + "m/" + fmt.Sprintf("%d/", uint64(m.Attr.Inode)))
@@ -87,7 +87,7 @@ func (s *Session) rekeyData(r ref, m *meta.Metadata) ([]wire.KV, error) {
 	}
 
 	// Rotate keys.
-	stop := s.crypto()
+	stop := s.crypto("rotate-data-keys")
 	dsk, dvk := sharocrypto.NewSigningPair()
 	m.Keys.DEK = sharocrypto.NewSymKey()
 	m.Keys.DataSeed = sharocrypto.NewSymKey()
@@ -132,7 +132,7 @@ func (s *Session) rekeyData(r ref, m *meta.Metadata) ([]wire.KV, error) {
 func (s *Session) Chmod(path string, perm types.Perm) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.rec.AddOp()
+	defer s.beginOp("chmod")()
 	return pathErrNil("chmod", path, s.chmod(path, perm))
 }
 
@@ -208,7 +208,7 @@ func viewShapesDiffer(oldPerm, newPerm types.Perm) bool {
 func (s *Session) Chown(path string, owner types.UserID, group types.GroupID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.rec.AddOp()
+	defer s.beginOp("chown")()
 	return pathErrNil("chown", path, s.chown(path, owner, group))
 }
 
@@ -237,7 +237,7 @@ func (s *Session) chown(path string, owner types.UserID, group types.GroupID) er
 	// Full rotation: fresh metadata seed and MSK so stale split pointers
 	// and cached MEKs become useless, fresh data keys so ex-class members
 	// lose data access.
-	stop := s.crypto()
+	stop := s.crypto("rotate-meta-keys")
 	updated.Keys.MetaSeed = sharocrypto.NewSymKey()
 	msk, _ := sharocrypto.NewSigningPair()
 	updated.Keys.MSK = msk
@@ -288,7 +288,7 @@ func (s *Session) chown(path string, owner types.UserID, group types.GroupID) er
 // sealSuperblocks seals one superblock per registered user for the
 // namespace root described by rootMeta.
 func (s *Session) sealSuperblocks(rootMeta *meta.Metadata) ([]wire.KV, error) {
-	stop := s.crypto()
+	stop := s.crypto("seal-superblock")
 	defer stop()
 	return layout.BuildSuperblockKVs(s.eng, s.reg, s.fsid, rootMeta)
 }

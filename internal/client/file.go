@@ -32,7 +32,7 @@ func (s *Session) fetchManifest(r ref, m *meta.Metadata) (*meta.Manifest, error)
 
 // openManifest verifies, decodes and caches a fetched manifest blob.
 func (s *Session) openManifest(r ref, m *meta.Metadata, blob []byte) (*meta.Manifest, error) {
-	stop := s.crypto()
+	stop := s.crypto("open-manifest")
 	pt, err := meta.OpenVerified(m.Keys.DEK, m.Keys.DVK, meta.ManifestAAD(r.ino, m.Attr.DataGen), blob)
 	var man *meta.Manifest
 	if err == nil {
@@ -59,7 +59,7 @@ func (s *Session) sealFileData(m *meta.Metadata, data []byte, mtime int64) ([]wi
 	nBlocks := (len(data) + bs - 1) / bs
 
 	kvs := make([]wire.KV, 0, nBlocks+1)
-	stop := s.crypto()
+	stop := s.crypto("seal-data")
 	for i := 0; i < nBlocks; i++ {
 		lo, hi := i*bs, (i+1)*bs
 		if hi > len(data) {
@@ -105,7 +105,7 @@ func (s *Session) readBlocks(r ref, m *meta.Metadata, man *meta.Manifest, from, 
 	if len(items) != len(missing) {
 		return nil, fmt.Errorf("%w: %d of %d blocks missing", types.ErrTampered, len(missing)-len(items), len(missing))
 	}
-	stop := s.crypto()
+	stop := s.crypto("open-block")
 	defer stop()
 	for _, it := range items {
 		idx, ok := missIdx[it.Key]
@@ -130,7 +130,7 @@ func (s *Session) readBlocks(r ref, m *meta.Metadata, man *meta.Manifest, from, 
 func (s *Session) ReadFile(path string) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.rec.AddOp()
+	defer s.beginOp("read")()
 	out, err := s.readFileLocked(path)
 	if err != nil {
 		return nil, pathErr("read", path, err)
@@ -144,7 +144,7 @@ func (s *Session) ReadFile(path string) ([]byte, error) {
 func (s *Session) WriteFile(path string, data []byte, perm types.Perm) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.rec.AddOp()
+	defer s.beginOp("write")()
 	return pathErrNil("write", path, s.writeFile(path, data, perm))
 }
 
@@ -217,7 +217,7 @@ func (s *Session) overwrite(r ref, m *meta.Metadata, data []byte) error {
 func (s *Session) Append(path string, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.rec.AddOp()
+	defer s.beginOp("append")()
 	return pathErrNil("append", path, s.appendFile(path, data))
 }
 
@@ -256,7 +256,7 @@ func (s *Session) appendFile(path string, data []byte) error {
 
 	newSize := man.Size + uint64(len(data))
 	kvs := make([]wire.KV, 0, len(tail)/int(bs)+2)
-	stop := s.crypto()
+	stop := s.crypto("seal-data")
 	for i := 0; i < len(tail); i += int(bs) {
 		hi := i + int(bs)
 		if hi > len(tail) {
@@ -289,7 +289,7 @@ func (s *Session) appendFile(path string, data []byte) error {
 // and returns deletes for the old generation's blobs.
 func (s *Session) rotateForWrite(r ref, m *meta.Metadata, oldMan *meta.Manifest) ([]wire.KV, error) {
 	oldGen := m.Attr.DataGen
-	stop := s.crypto()
+	stop := s.crypto("rotate-data-keys")
 	dsk, dvk := sharocrypto.NewSigningPair()
 	m.Keys.DEK = sharocrypto.NewSymKey()
 	m.Keys.DSK, m.Keys.DVK = dsk, dvk

@@ -43,7 +43,7 @@ const (
 func (s *Session) OpenFile(path string, flags int, perm types.Perm) (*File, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.rec.AddOp()
+	defer s.beginOp("open")()
 
 	f := &File{s: s, path: path, write: flags&OWrite != 0}
 	_, m, err := s.resolve(path)

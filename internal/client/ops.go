@@ -28,7 +28,7 @@ func pathErr(op, path string, err error) error {
 func (s *Session) Stat(path string) (vfs.Info, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.rec.AddOp()
+	defer s.beginOp("stat")()
 	_, base, err := types.SplitPath(path)
 	if err != nil {
 		return vfs.Info{}, pathErr("stat", path, err)
@@ -93,7 +93,7 @@ func (s *Session) statFetch(r ref) (*meta.Metadata, *meta.Manifest, error) {
 	if metaBlob == nil {
 		return nil, nil, types.ErrNotExist
 	}
-	stop := s.crypto()
+	stop := s.crypto("open-meta")
 	m, err := meta.OpenMetadata(r.mek, r.mvk, meta.MetaAAD(r.ino, r.variant), metaBlob)
 	stop()
 	if err != nil {
@@ -128,7 +128,7 @@ func infoFromAttr(name string, a meta.Attr) vfs.Info {
 func (s *Session) ReadDir(path string) ([]string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.rec.AddOp()
+	defer s.beginOp("readdir")()
 	r, m, err := s.resolve(path)
 	if err != nil {
 		return nil, pathErr("readdir", path, err)
@@ -161,7 +161,7 @@ func (s *Session) ReadDir(path string) ([]string, error) {
 func (s *Session) Mkdir(path string, perm types.Perm) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.rec.AddOp()
+	defer s.beginOp("mkdir")()
 	_, err := s.createObject(path, perm, types.KindDir, nil)
 	return pathErrNil("mkdir", path, err)
 }
@@ -170,7 +170,7 @@ func (s *Session) Mkdir(path string, perm types.Perm) error {
 func (s *Session) Create(path string, perm types.Perm) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.rec.AddOp()
+	defer s.beginOp("create")()
 	_, err := s.createObject(path, perm, types.KindFile, []byte{})
 	return pathErrNil("create", path, err)
 }
@@ -204,7 +204,7 @@ func (s *Session) createObject(path string, perm types.Perm, kind types.ObjKind,
 	}
 
 	now := time.Now().UnixNano()
-	stop := s.crypto()
+	stop := s.crypto("mint-keys")
 	child := &meta.Metadata{
 		Attr: meta.Attr{
 			Inode: randInode(),
@@ -222,13 +222,13 @@ func (s *Session) createObject(path string, perm types.Perm, kind types.ObjKind,
 	var kvs []wire.KV
 
 	// Child metadata, one sealed copy per CAP variant.
-	stop = s.crypto()
+	stop = s.crypto("seal-meta")
 	kvs = append(kvs, layout.BuildMetaKVs(s.eng, child)...)
 	stop()
 
 	switch kind {
 	case types.KindDir:
-		stop = s.crypto()
+		stop = s.crypto("seal-table")
 		tkvs, err := layout.BuildTableKVs(s.eng, child, &meta.DirTable{})
 		stop()
 		if err != nil {
@@ -265,7 +265,7 @@ func (s *Session) createObject(path string, perm types.Perm, kind types.ObjKind,
 func (s *Session) Remove(path string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.rec.AddOp()
+	defer s.beginOp("remove")()
 	return pathErrNil("remove", path, s.remove(path))
 }
 
@@ -365,7 +365,7 @@ func (s *Session) deleteDataKVs(r ref, m *meta.Metadata) ([]wire.KV, error) {
 func (s *Session) Rename(oldPath, newPath string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.rec.AddOp()
+	defer s.beginOp("rename")()
 	return pathErrNil("rename", oldPath, s.rename(oldPath, newPath))
 }
 

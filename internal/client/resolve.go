@@ -7,7 +7,7 @@ import (
 	"github.com/sharoes/sharoes/internal/cap"
 	"github.com/sharoes/sharoes/internal/keys"
 	"github.com/sharoes/sharoes/internal/meta"
-	"github.com/sharoes/sharoes/internal/stats"
+	"github.com/sharoes/sharoes/internal/obs"
 	"github.com/sharoes/sharoes/internal/types"
 	"github.com/sharoes/sharoes/internal/wire"
 )
@@ -19,6 +19,7 @@ import (
 // object's reference without fetching its metadata, so callers can batch
 // that fetch with related blobs (Stat combines it with the manifest).
 func (s *Session) resolveRef(path string) (ref, error) {
+	defer s.tracer.Start("resolve", obs.ClassNone).End()
 	comps, err := types.PathComponents(path)
 	if err != nil {
 		return ref{}, err
@@ -89,7 +90,7 @@ func (s *Session) resolveSplit(ino types.Inode) (ref, error) {
 	if err != nil {
 		return ref{}, err
 	}
-	stop := s.rec.Time(stats.Crypto)
+	stop := s.crypto("open-split")
 	ptr, err := meta.OpenSplitPointer(s.user.Priv, blob)
 	stop()
 	if err != nil {
@@ -176,7 +177,7 @@ func (s *Session) loadParentTables(r ref, m *meta.Metadata) (map[string]*meta.Di
 		if !ok {
 			tables[r.variant] = &meta.DirTable{}
 		} else {
-			stop := s.crypto()
+			stop := s.crypto("open-table")
 			view, err := cap.OpenView(r.variant, cap.TableKey(m, r.variant), m.Keys.DVK, r.ino, blob)
 			stop()
 			if err != nil {
@@ -201,7 +202,7 @@ func (s *Session) loadParentTables(r ref, m *meta.Metadata) (map[string]*meta.Di
 			tables[pv.ID] = &meta.DirTable{}
 			continue
 		}
-		stop := s.crypto()
+		stop := s.crypto("open-table")
 		view, err := cap.OpenView(pv.ID, cap.TableKey(m, pv.ID), m.Keys.DVK, r.ino, blob)
 		var tbl *meta.DirTable
 		if err == nil {
@@ -229,7 +230,7 @@ func tableSize(t *meta.DirTable) int64 {
 // only writer it is coherent with).
 func (s *Session) writeParentTables(r ref, m *meta.Metadata, tables map[string]*meta.DirTable) ([]wire.KV, error) {
 	kvs := make([]wire.KV, 0, len(tables))
-	stop := s.crypto()
+	stop := s.crypto("seal-table")
 	for _, pv := range s.eng.Variants(m.Attr) {
 		tbl, ok := tables[pv.ID]
 		if !ok {

@@ -17,12 +17,14 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"github.com/sharoes/sharoes/internal/cache"
 	"github.com/sharoes/sharoes/internal/cap"
 	"github.com/sharoes/sharoes/internal/keys"
 	"github.com/sharoes/sharoes/internal/layout"
 	"github.com/sharoes/sharoes/internal/meta"
+	"github.com/sharoes/sharoes/internal/obs"
 	"github.com/sharoes/sharoes/internal/sharocrypto"
 	"github.com/sharoes/sharoes/internal/ssp"
 	"github.com/sharoes/sharoes/internal/stats"
@@ -50,6 +52,15 @@ type Config struct {
 	FSID string
 	// Recorder receives cost instrumentation; may be nil.
 	Recorder *stats.Recorder
+	// Tracer receives hierarchical spans for every operation: a
+	// "client.<op>" root with resolve, CAP-unwrap, RPC and crypto
+	// children (see docs/OBSERVABILITY.md). May be nil. When Store is an
+	// ssp.Client the tracer is attached to it too, so RPC spans nest
+	// inside the op and the SSP joins the trace over the wire.
+	Tracer *obs.Tracer
+	// Metrics receives per-operation counters (client.op.<op>) and
+	// latency histograms (client.op.<op>.ns). May be nil.
+	Metrics *obs.Registry
 	// CacheBytes is the local cache budget: <0 unlimited, 0 disabled.
 	CacheBytes int64
 	// BlockSize overrides DefaultBlockSize when nonzero.
@@ -81,6 +92,8 @@ type Session struct {
 	eng       layout.Engine
 	fsid      string
 	rec       *stats.Recorder
+	tracer    *obs.Tracer
+	metrics   *obs.Registry
 	cache     *cache.Cache
 	blockSize uint32
 	lazy      bool
@@ -109,9 +122,14 @@ func Mount(cfg Config) (*Session, error) {
 		eng:       cfg.Layout,
 		fsid:      cfg.FSID,
 		rec:       cfg.Recorder,
+		tracer:    cfg.Tracer,
+		metrics:   cfg.Metrics,
 		cache:     cache.New(cfg.CacheBytes),
 		blockSize: bs,
 		lazy:      cfg.LazyRevocation,
+	}
+	if sc, ok := cfg.Store.(*ssp.Client); ok {
+		sc.Observe(cfg.Tracer)
 	}
 
 	// In-band group key distribution (paper §II-A).
@@ -139,7 +157,7 @@ func Mount(cfg Config) (*Session, error) {
 		if p.Group != "" {
 			priv = gk[p.Group]
 		}
-		stop := s.rec.Time(stats.Crypto)
+		stop := s.crypto("open-superblock")
 		sb, err = meta.OpenSuperblock(priv, blob)
 		stop()
 		if err != nil {
@@ -188,8 +206,34 @@ func (s *Session) CacheStats() (hits, misses int64) { return s.cache.Stats() }
 // User returns the mounted user's ID.
 func (s *Session) User() types.UserID { return s.user.ID }
 
-// crypto returns a stopwatch charging the CRYPTO component.
-func (s *Session) crypto() func() { return s.rec.Time(stats.Crypto) }
+// crypto returns a stopwatch charging the CRYPTO component and, with a
+// tracer attached, recording a "crypto.<name>" leaf span. The name is a
+// fixed operation label — never key material or user data (the keyleak
+// analyzer enforces this for obs sinks).
+func (s *Session) crypto(name string) func() {
+	sp := s.tracer.Start("crypto."+name, obs.ClassCrypto)
+	stop := s.rec.Time(stats.Crypto)
+	return func() {
+		stop()
+		sp.End()
+	}
+}
+
+// beginOp opens the root span and stopwatch for one vfs operation; the
+// returned func closes the span, observes the op's latency histogram and
+// counts the op on the recorder. Usage: defer s.beginOp("stat")().
+func (s *Session) beginOp(op string) func() {
+	sp := s.tracer.Start("client."+op, obs.ClassNone)
+	start := time.Now()
+	return func() {
+		sp.End()
+		if s.metrics != nil {
+			s.metrics.Counter("client.op." + op).Inc()
+			s.metrics.Histogram("client.op." + op + ".ns").Observe(time.Since(start))
+		}
+		s.rec.AddOp()
+	}
+}
 
 // triplet returns the permission triplet applying to the session user:
 // owner bits, then any ACL grant, then group, then other.
@@ -250,7 +294,7 @@ func (s *Session) fetchMeta(r ref) (*meta.Metadata, error) {
 	if err != nil {
 		return nil, err
 	}
-	stop := s.crypto()
+	stop := s.crypto("open-meta")
 	m, err := meta.OpenMetadata(r.mek, r.mvk, meta.MetaAAD(r.ino, r.variant), blob)
 	stop()
 	if err != nil {
@@ -284,7 +328,7 @@ func (s *Session) openViewOf(r ref, m *meta.Metadata) (*cap.View, error) {
 	if err != nil {
 		return nil, err
 	}
-	stop := s.crypto()
+	stop := s.crypto("open-view")
 	v, err := cap.OpenView(r.variant, m.Keys.DEK, m.Keys.DVK, r.ino, blob)
 	stop()
 	if err != nil {

@@ -48,7 +48,7 @@ func (r *VerifyReport) String() string {
 func (s *Session) Verify(path string) (*VerifyReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.rec.AddOp()
+	defer s.beginOp("verify")()
 
 	// Bypass (and afterwards restore) the cache so the SSP cannot hide
 	// behind previously verified copies.

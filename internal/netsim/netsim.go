@@ -16,6 +16,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"github.com/sharoes/sharoes/internal/obs"
 )
 
 // Profile describes a link.
@@ -90,6 +92,10 @@ type pipeDir struct {
 	writeClosed bool
 	closed      chan struct{} // closed when the writer side closes
 
+	// bytes counts payload bytes shaped through this direction; nil-safe
+	// no-op when the owning listener has no registry attached.
+	bytes *obs.Counter
+
 	// reader-side state; accessed only by the reading conn
 	rmu  sync.Mutex
 	rbuf []byte
@@ -132,6 +138,7 @@ func (d *pipeDir) write(b []byte) (int, error) {
 		select {
 		case d.ch <- pkt:
 			total += len(seg)
+			d.bytes.Add(int64(len(seg)))
 		case <-d.closed:
 			return total, net.ErrClosed
 		}
@@ -245,7 +252,14 @@ type Listener struct {
 	mu      sync.Mutex
 	closed  bool
 	done    chan struct{}
+	reg     *obs.Registry
 }
+
+// Observe attaches a metrics registry (nil detaches). Subsequent dials
+// count under netsim.dials, and the payload bytes shaped through their
+// pipes under netsim.bytes_up / netsim.bytes_down. Call before handing
+// the listener to concurrent dialers.
+func (l *Listener) Observe(reg *obs.Registry) { l.reg = reg }
 
 // Listen creates a Listener whose connections are shaped by p.
 func Listen(p Profile) *Listener {
@@ -261,6 +275,11 @@ func (l *Listener) Dial() (net.Conn, error) {
 	default:
 	}
 	client, server := Pipe(l.profile)
+	if l.reg != nil {
+		l.reg.Counter("netsim.dials").Inc()
+		client.out.bytes = l.reg.Counter("netsim.bytes_up")
+		client.in.bytes = l.reg.Counter("netsim.bytes_down")
+	}
 	select {
 	case l.ch <- server:
 		return client, nil

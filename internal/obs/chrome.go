@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one trace_event record. Complete ("X") events carry a
+// start timestamp and duration in microseconds; metadata ("M") events
+// name processes. The format is consumed by chrome://tracing and
+// https://ui.perfetto.dev.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace merges span groups — typically one tracer's client
+// spans and one tracer's SSP spans — into a single Chrome trace_event
+// JSON document. Each distinct Proc label becomes a process; each trace
+// ID becomes a thread lane, so one filesystem operation's client and
+// server spans line up on a shared timeline. Timestamps are offsets from
+// the earliest span, computed on the monotonic clock.
+func WriteChromeTrace(w io.Writer, groups ...[]*Span) error {
+	var all []*Span
+	for _, g := range groups {
+		for _, sp := range g {
+			if sp != nil {
+				all = append(all, sp)
+			}
+		}
+	}
+	trace := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	if len(all) > 0 {
+		base := all[0].Start
+		for _, sp := range all[1:] {
+			if sp.Start.Before(base) {
+				base = sp.Start
+			}
+		}
+
+		// Stable process numbering by first appearance of the label,
+		// then sorted for determinism.
+		var procs []string
+		seen := map[string]bool{}
+		for _, sp := range all {
+			if !seen[sp.Proc] {
+				seen[sp.Proc] = true
+				procs = append(procs, sp.Proc)
+			}
+		}
+		sort.Strings(procs)
+		pid := make(map[string]int, len(procs))
+		for i, p := range procs {
+			pid[p] = i + 1
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: i + 1,
+				Args: map[string]any{"name": p},
+			})
+		}
+
+		for _, sp := range all {
+			args := map[string]any{
+				"trace":  uint64(sp.Trace),
+				"span":   uint64(sp.ID),
+				"parent": uint64(sp.Parent),
+			}
+			for _, at := range sp.Attrs() {
+				args[at.Key] = at.Val
+			}
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: sp.Name,
+				Cat:  sp.Class.String(),
+				Ph:   "X",
+				Ts:   float64(sp.Start.Sub(base).Nanoseconds()) / 1e3,
+				Dur:  float64(sp.Dur.Nanoseconds()) / 1e3,
+				Pid:  pid[sp.Proc],
+				Tid:  uint64(sp.Trace),
+				Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(trace); err != nil {
+		return fmt.Errorf("obs: chrome trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// numShards is the stripe count of a ShardedInt64. A small power of two:
+// enough to spread a handful of concurrent sessions off a single cache
+// line without bloating every counter (each shard is one padded line).
+const numShards = 8
+
+// cacheLine is the assumed coherence-granule size. 64 bytes covers
+// x86-64 and most arm64 parts; being wrong only costs a little false
+// sharing, never correctness.
+const cacheLine = 64
+
+// paddedInt64 is an atomic.Int64 padded out to its own cache line so
+// that adjacent shards never false-share.
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// ShardedInt64 is a monotonic-cost striped counter: Add touches one of
+// numShards cache-line-padded atomics, Load sums them. Writes from
+// concurrent goroutines land on (probabilistically) distinct lines, so
+// hot-path increments do not serialize on one cache line the way a
+// single atomic does. Load is O(numShards) and only loosely consistent
+// with concurrent Adds — exactly the trade a metrics counter wants.
+//
+// The zero value is ready to use.
+type ShardedInt64 struct {
+	shards [numShards]paddedInt64
+}
+
+// shardIndex picks the stripe for the calling goroutine. Go exposes no
+// goroutine or P identity, so the index is derived from the address of a
+// stack variable: goroutine stacks live in distinct heap allocations, so
+// different goroutines hash to different stripes with high probability,
+// while correctness never depends on the choice. The shift skips the
+// low, always-aligned address bits.
+func shardIndex() int {
+	var probe byte
+	p := uintptr(unsafe.Pointer(&probe))
+	return int((p >> 9) & (numShards - 1))
+}
+
+// Add adds delta to the counter.
+func (s *ShardedInt64) Add(delta int64) {
+	if s == nil {
+		return
+	}
+	s.shards[shardIndex()].v.Add(delta)
+}
+
+// Load returns the sum over all shards.
+func (s *ShardedInt64) Load() int64 {
+	if s == nil {
+		return 0
+	}
+	var sum int64
+	for i := range s.shards {
+		sum += s.shards[i].v.Load()
+	}
+	return sum
+}
+
+// Reset zeroes every shard. Concurrent Adds may survive a Reset; like
+// Load, it is loosely consistent by design.
+func (s *ShardedInt64) Reset() {
+	if s == nil {
+		return
+	}
+	for i := range s.shards {
+		s.shards[i].v.Store(0)
+	}
+}

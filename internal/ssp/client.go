@@ -3,8 +3,10 @@ package ssp
 import (
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 
+	"github.com/sharoes/sharoes/internal/obs"
 	"github.com/sharoes/sharoes/internal/stats"
 	"github.com/sharoes/sharoes/internal/wire"
 )
@@ -18,9 +20,10 @@ type Dialer func() (net.Conn, error)
 // component of the attached recorder, which is how Figure 13's breakdown
 // is measured.
 type Client struct {
-	mu    sync.Mutex
-	codec *wire.Codec
-	rec   *stats.Recorder
+	mu     sync.Mutex
+	codec  *wire.Codec
+	rec    *stats.Recorder
+	tracer *obs.Tracer
 }
 
 var _ BlobStore = (*Client)(nil)
@@ -34,6 +37,16 @@ func Dial(dial Dialer, rec *stats.Recorder) (*Client, error) {
 	return &Client{codec: wire.NewCodec(conn), rec: rec}, nil
 }
 
+// Observe attaches a tracer (nil disables tracing). Each round trip then
+// emits an "rpc.<op>" span classed NETWORK, and the request frame carries
+// the current trace and span IDs so SSP-side spans join the same trace
+// (see wire.Request.TraceID).
+func (c *Client) Observe(tracer *obs.Tracer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracer = tracer
+}
+
 // Close closes the connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
@@ -41,15 +54,28 @@ func (c *Client) Close() error {
 	return c.codec.Close()
 }
 
-// call performs one round trip, charging the wait to NETWORK.
+// call performs one round trip, charging the wait to NETWORK. With a
+// tracer attached the round trip is also recorded as an "rpc.<op>" span,
+// and the frame carries the trace context so the SSP's handler span joins
+// the same trace.
 func (c *Client) call(req *wire.Request) (*wire.Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	sp := c.tracer.Start("rpc."+req.Op.String(), obs.ClassNetwork)
+	if tid, sid := c.tracer.Current(); tid != 0 {
+		req.TraceID, req.SpanID = uint64(tid), uint64(sid)
+	}
 	outBefore, inBefore := c.codec.BytesOut, c.codec.BytesIn
 	stop := c.rec.Time(stats.Network)
 	resp, err := c.codec.Call(req)
 	stop()
-	c.rec.AddBytes(int(c.codec.BytesOut-outBefore), int(c.codec.BytesIn-inBefore))
+	out, in := c.codec.BytesOut-outBefore, c.codec.BytesIn-inBefore
+	c.rec.AddBytes(int(out), int(in))
+	if sp != nil { // skip the strconv work when untraced
+		sp.Annotate("bytes_out", strconv.FormatInt(out, 10))
+		sp.Annotate("bytes_in", strconv.FormatInt(in, 10))
+		sp.End()
+	}
 	if err != nil {
 		return nil, fmt.Errorf("ssp: %s: %w", req.Op, err)
 	}

@@ -8,7 +8,10 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"github.com/sharoes/sharoes/internal/obs"
 	"github.com/sharoes/sharoes/internal/wire"
 )
 
@@ -18,11 +21,23 @@ type Server struct {
 	store BlobStore
 	log   *log.Logger
 
+	// Observability; all nil-safe, attached via Observe.
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
-	conns     map[net.Conn]struct{}
+	conns     map[net.Conn]*connEntry
 	closed    bool
+	draining  bool
 	wg        sync.WaitGroup
+}
+
+// connEntry tracks one connection's handler state for graceful drain:
+// busy is true while a request is being processed, false while the
+// handler is parked waiting for the next frame.
+type connEntry struct {
+	busy atomic.Bool
 }
 
 // NewServer creates a server over store. logger may be nil to disable
@@ -35,15 +50,31 @@ func NewServer(store BlobStore, logger *log.Logger) *Server {
 		store:     store,
 		log:       logger,
 		listeners: make(map[net.Listener]struct{}),
-		conns:     make(map[net.Conn]struct{}),
+		conns:     make(map[net.Conn]*connEntry),
 	}
+}
+
+// Observe attaches a metrics registry and a tracer. Either may be nil
+// (the corresponding instrumentation becomes a no-op). Must be called
+// before Serve; the server reads these fields without locking.
+//
+// Metrics exposed: ssp.conns (gauge of live connections),
+// ssp.op.<op> / ssp.op.<op>.ns (per-operation count and latency
+// histogram), ssp.bytes_in / ssp.bytes_out (wire traffic). Incoming
+// requests carrying a trace ID get an "ssp.<op>" span on tracer joined
+// to the client's trace. Labels are operation names from the wire
+// protocol — never request keys or values, which are untrusted and, in
+// Sharoes, ciphertext.
+func (s *Server) Observe(reg *obs.Registry, tracer *obs.Tracer) {
+	s.reg = reg
+	s.tracer = tracer
 }
 
 // Serve accepts connections on l until the listener fails or the server is
 // closed. It blocks; run it in a goroutine.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
 		return net.ErrClosed
 	}
@@ -54,23 +85,24 @@ func (s *Server) Serve(l net.Listener) error {
 		conn, err := l.Accept()
 		if err != nil {
 			s.mu.Lock()
-			closed := s.closed
+			stopped := s.closed || s.draining
 			s.mu.Unlock()
-			if closed {
+			if stopped {
 				return nil
 			}
 			return fmt.Errorf("ssp: accept: %w", err)
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
 			s.mu.Unlock()
 			conn.Close()
 			return nil
 		}
-		s.conns[conn] = struct{}{}
+		entry := &connEntry{}
+		s.conns[conn] = entry
 		s.wg.Add(1)
 		s.mu.Unlock()
-		go s.handle(conn)
+		go s.handle(conn, entry)
 	}
 }
 
@@ -94,7 +126,63 @@ func (s *Server) Close() error {
 	return nil
 }
 
-func (s *Server) handle(conn net.Conn) {
+// Shutdown drains the server gracefully: it stops accepting new
+// connections, lets requests already being processed finish, then closes
+// everything. Idle connections (parked between requests) are closed
+// immediately; busy handlers finish their current request, send the
+// response, and exit. If the drain has not completed within grace, the
+// remaining connections are force-closed. Safe to call concurrently with
+// Close and with itself.
+func (s *Server) Shutdown(grace time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	alreadyDraining := s.draining
+	s.draining = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	conns := make(map[net.Conn]*connEntry, len(s.conns))
+	for c, e := range s.conns {
+		conns[c] = e
+	}
+	s.mu.Unlock()
+
+	if !alreadyDraining {
+		for c, e := range conns {
+			// Unblock parked readers. The deadline covers real TCP
+			// conns; closing idle conns covers transports that accept
+			// but do not enforce deadlines (netsim). A conn that turns
+			// busy between the check and the close just drops one
+			// not-yet-processed request — never one in flight.
+			c.SetReadDeadline(time.Now())
+			if !e.busy.Load() {
+				c.Close()
+			}
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+	}
+	return s.Close()
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining || s.closed
+}
+
+func (s *Server) handle(conn net.Conn, entry *connEntry) {
 	defer s.wg.Done()
 	defer func() {
 		conn.Close()
@@ -102,18 +190,35 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	s.reg.Gauge("ssp.conns").Add(1)
+	defer s.reg.Gauge("ssp.conns").Add(-1)
 	codec := wire.NewCodec(conn)
+	defer func() {
+		s.reg.Counter("ssp.bytes_in").Add(codec.BytesIn)
+		s.reg.Counter("ssp.bytes_out").Add(codec.BytesOut)
+	}()
 	for {
+		entry.busy.Store(false)
 		req, err := codec.ReadRequest()
+		entry.busy.Store(true)
 		if err != nil {
-			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !s.isDraining() {
 				s.log.Printf("ssp: read request: %v", err)
 			}
 			return
 		}
+		opName := req.Op.String()
+		sp := s.tracer.StartRemote(obs.TraceID(req.TraceID), obs.SpanID(req.SpanID), "ssp."+opName, obs.ClassNone)
+		start := time.Now()
 		resp := s.apply(req)
+		s.reg.Histogram("ssp.op." + opName + ".ns").Observe(time.Since(start))
+		s.reg.Counter("ssp.op." + opName).Inc()
+		sp.End()
 		if err := codec.SendResponse(resp); err != nil {
 			s.log.Printf("ssp: send response: %v", err)
+			return
+		}
+		if s.isDraining() {
 			return
 		}
 	}

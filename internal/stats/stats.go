@@ -2,13 +2,21 @@
 // into the three components the paper reports in Figure 13: NETWORK (wire
 // transfer), CRYPTO (encryption, decryption, signing, verification) and
 // OTHER (everything else — serialization, cache management, bookkeeping).
+//
+// Since the internal/obs observability layer landed, this package is a
+// thin adapter: a Recorder is a view over an obs.CostAccount, the same
+// accumulator charged by the stopwatches that emit classed trace spans.
+// The decomposition reported here and the one recomputed from a trace
+// (obs.Decompose) therefore agree by construction — there is one timing
+// mechanism, not two.
 package stats
 
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"github.com/sharoes/sharoes/internal/obs"
 )
 
 // Component identifies a cost bucket.
@@ -19,7 +27,6 @@ const (
 	Network Component = iota
 	Crypto
 	Other
-	numComponents
 )
 
 // String implements fmt.Stringer.
@@ -34,55 +41,56 @@ func (c Component) String() string {
 	}
 }
 
+// class maps a component to its obs cost class.
+func (c Component) class() obs.Class {
+	switch c {
+	case Network:
+		return obs.ClassNetwork
+	case Crypto:
+		return obs.ClassCrypto
+	default:
+		return obs.ClassOther
+	}
+}
+
 // Recorder accumulates time per component plus operation and byte counters.
 // It is safe for concurrent use. The zero value is ready to use; a nil
 // *Recorder discards all measurements, so instrumentation call sites never
-// need nil checks.
+// need nil checks. It adapts the legacy API onto obs.CostAccount.
 type Recorder struct {
-	nanos     [numComponents]atomic.Int64
-	ops       atomic.Int64
-	bytesOut  atomic.Int64
-	bytesIn   atomic.Int64
-	cryptoOps atomic.Int64
+	acc obs.CostAccount
+}
+
+// Account exposes the underlying obs accumulator, so span-emitting
+// stopwatches can charge the same substrate. Returns nil on a nil
+// Recorder (and a nil *obs.CostAccount discards everything).
+func (r *Recorder) Account() *obs.CostAccount {
+	if r == nil {
+		return nil
+	}
+	return &r.acc
 }
 
 // Add charges d to component c.
 func (r *Recorder) Add(c Component, d time.Duration) {
-	if r == nil {
-		return
-	}
-	r.nanos[c].Add(int64(d))
-	if c == Crypto {
-		r.cryptoOps.Add(1)
-	}
+	r.Account().AddClass(c.class(), d)
 }
 
 // Time starts a timer for component c; call the returned func to stop it.
 // Usage: defer r.Time(stats.Crypto)().
 func (r *Recorder) Time(c Component) func() {
-	if r == nil {
-		return func() {}
-	}
-	start := time.Now()
-	return func() { r.Add(c, time.Since(start)) }
+	return r.Account().Time(c.class())
 }
 
 // AddOp counts one completed filesystem operation.
 func (r *Recorder) AddOp() {
-	if r == nil {
-		return
-	}
-	r.ops.Add(1)
+	r.Account().AddOp()
 }
 
 // AddBytes records wire traffic: out is bytes sent to the SSP, in is bytes
 // received from it.
 func (r *Recorder) AddBytes(out, in int) {
-	if r == nil {
-		return
-	}
-	r.bytesOut.Add(int64(out))
-	r.bytesIn.Add(int64(in))
+	r.Account().AddBytes(out, in)
 }
 
 // Snapshot is a point-in-time copy of a Recorder's counters.
@@ -101,29 +109,22 @@ func (r *Recorder) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
 	}
+	a := r.Account()
+	out, in := a.Bytes()
 	return Snapshot{
-		Network:   time.Duration(r.nanos[Network].Load()),
-		Crypto:    time.Duration(r.nanos[Crypto].Load()),
-		Other:     time.Duration(r.nanos[Other].Load()),
-		Ops:       r.ops.Load(),
-		BytesOut:  r.bytesOut.Load(),
-		BytesIn:   r.bytesIn.Load(),
-		CryptoOps: r.cryptoOps.Load(),
+		Network:   time.Duration(a.ClassNanos(obs.ClassNetwork)),
+		Crypto:    time.Duration(a.ClassNanos(obs.ClassCrypto)),
+		Other:     time.Duration(a.ClassNanos(obs.ClassOther)),
+		Ops:       a.Ops(),
+		BytesOut:  out,
+		BytesIn:   in,
+		CryptoOps: a.CryptoOps(),
 	}
 }
 
 // Reset zeroes all counters.
 func (r *Recorder) Reset() {
-	if r == nil {
-		return
-	}
-	for i := range r.nanos {
-		r.nanos[i].Store(0)
-	}
-	r.ops.Store(0)
-	r.bytesOut.Store(0)
-	r.bytesIn.Store(0)
-	r.cryptoOps.Store(0)
+	r.Account().Reset()
 }
 
 // Sub returns the component-wise difference s - o. Use it to isolate the

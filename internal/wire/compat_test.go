@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// oldEncodeRequest replicates the pre-trace-extension request encoder
+// byte for byte: op, ns, key, val, prefix, items — and nothing after.
+func oldEncodeRequest(q *Request) []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(byte(q.Op))
+	buf.WriteByte(byte(q.NS))
+	putString(&buf, q.Key)
+	putBytes(&buf, q.Val)
+	putString(&buf, q.Prefix)
+	putUvarint(&buf, uint64(len(q.Items)))
+	for _, kv := range q.Items {
+		encodeKV(&buf, kv)
+	}
+	return buf.Bytes()
+}
+
+// oldDecodeRequest replicates the pre-extension decoder, including its
+// defining property for forward compatibility: bytes after the item list
+// are ignored.
+func oldDecodeRequest(b []byte) (*Request, error) {
+	r := &reader{b: b}
+	var q Request
+	op, err := r.byteVal()
+	if err != nil {
+		return nil, err
+	}
+	q.Op = Op(op)
+	ns, err := r.byteVal()
+	if err != nil {
+		return nil, err
+	}
+	q.NS = NS(ns)
+	if q.Key, err = r.str(); err != nil {
+		return nil, err
+	}
+	val, err := r.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(val) > 0 {
+		q.Val = append([]byte(nil), val...)
+	}
+	if q.Prefix, err = r.str(); err != nil {
+		return nil, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		kv, err := decodeKV(r)
+		if err != nil {
+			return nil, err
+		}
+		q.Items = append(q.Items, kv)
+	}
+	return &q, nil // trailing bytes ignored
+}
+
+// TestOldFramesDecodeUnderNewCodec: frames produced by the pre-extension
+// encoder must decode under the current codec as untraced requests.
+func TestOldFramesDecodeUnderNewCodec(t *testing.T) {
+	for _, q := range seedRequests() {
+		q.TraceID, q.SpanID = 0, 0 // the old codec cannot express a trace
+		old := oldEncodeRequest(q)
+		got, err := DecodeRequest(old)
+		if err != nil {
+			t.Fatalf("old frame for %v rejected: %v", q.Op, err)
+		}
+		if got.TraceID != 0 || got.SpanID != 0 {
+			t.Fatalf("old frame decoded with trace %d/%d", got.TraceID, got.SpanID)
+		}
+		if !reflect.DeepEqual(normalizeReq(q), normalizeReq(got)) {
+			t.Fatalf("old frame round trip diverged:\n  %+v\n  %+v", q, got)
+		}
+	}
+}
+
+// TestNewFramesDecodeUnderOldCodec: traced frames from the current
+// encoder must decode under the old codec — the extension rides in the
+// trailing bytes the old decoder ignores.
+func TestNewFramesDecodeUnderOldCodec(t *testing.T) {
+	for _, q := range seedRequests() {
+		q.TraceID = 0xCAFE
+		q.SpanID = 42
+		framed := q.Encode()
+		got, err := oldDecodeRequest(framed)
+		if err != nil {
+			t.Fatalf("traced frame for %v rejected by old codec: %v", q.Op, err)
+		}
+		want := *q
+		want.TraceID, want.SpanID = 0, 0
+		if !reflect.DeepEqual(normalizeReq(&want), normalizeReq(got)) {
+			t.Fatalf("old codec misread traced frame:\n  %+v\n  %+v", want, got)
+		}
+	}
+}
+
+// TestUntracedFramesAreByteIdentical: with TraceID zero the new encoder
+// must produce exactly the old wire bytes, so the benchmarks' measured
+// wire sizes are unchanged when tracing is off.
+func TestUntracedFramesAreByteIdentical(t *testing.T) {
+	for _, q := range seedRequests() {
+		q.TraceID, q.SpanID = 0, 0
+		if !bytes.Equal(q.Encode(), oldEncodeRequest(q)) {
+			t.Fatalf("untraced encoding of %v differs from pre-extension bytes", q.Op)
+		}
+	}
+}
+
+// TestTraceExtensionRoundTrip: traced frames survive the current
+// encode/decode pair with IDs intact.
+func TestTraceExtensionRoundTrip(t *testing.T) {
+	q := &Request{Op: OpGet, NS: NSMeta, Key: "m/1/o", TraceID: 7, SpanID: 9}
+	got, err := DecodeRequest(q.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != 7 || got.SpanID != 9 {
+		t.Fatalf("trace ids = %d/%d, want 7/9", got.TraceID, got.SpanID)
+	}
+	// Varint-boundary values.
+	q = &Request{Op: OpPing, TraceID: 1<<64 - 1, SpanID: 1 << 63}
+	got, err = DecodeRequest(q.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != 1<<64-1 || got.SpanID != 1<<63 {
+		t.Fatalf("trace ids = %d/%d", got.TraceID, got.SpanID)
+	}
+}
+
+// TestMalformedTraceTailIgnored: a truncated or garbled tail downgrades
+// to "untraced" instead of rejecting the frame.
+func TestMalformedTraceTailIgnored(t *testing.T) {
+	base := oldEncodeRequest(&Request{Op: OpGet, NS: NSData, Key: "k"})
+	cases := map[string][]byte{
+		"half varint":        append(append([]byte(nil), base...), 0x80),
+		"tid only":           append(append([]byte(nil), base...), 0x07),
+		"tid, torn sid":      append(append([]byte(nil), base...), 0x07, 0xFF),
+		"zero tid with junk": append(append([]byte(nil), base...), 0x00, 0x01, 0x02),
+	}
+	for name, b := range cases {
+		got, err := DecodeRequest(b)
+		if err != nil {
+			t.Fatalf("%s: rejected: %v", name, err)
+		}
+		if got.TraceID != 0 {
+			t.Fatalf("%s: trace id %d from malformed tail", name, got.TraceID)
+		}
+	}
+}

@@ -22,6 +22,9 @@ func seedRequests() []*Request {
 			{NS: NSData, Key: "b", Delete: true},
 		}},
 		{Op: OpStats},
+		// Trace-extension frame: nonzero TraceID appends the optional
+		// trailing TraceID/SpanID uvarints (see Request.TraceID).
+		{Op: OpGet, NS: NSMeta, Key: "m/1/u/alice", TraceID: 7, SpanID: 9},
 	}
 }
 

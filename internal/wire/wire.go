@@ -110,6 +110,16 @@ type Request struct {
 	Val    []byte
 	Prefix string // OpList
 	Items  []KV   // OpBatchGet (keys only) / OpBatchPut
+
+	// TraceID and SpanID propagate the client's observability trace so
+	// SSP-side spans can join it (internal/obs). They are encoded as an
+	// optional trailing extension: a zero TraceID is omitted entirely
+	// (the frame is byte-identical to the pre-extension format), and
+	// decoders treat a missing or malformed tail as "untraced", so old
+	// and new peers interoperate in both directions. SpanID is
+	// meaningful only alongside a nonzero TraceID.
+	TraceID uint64
+	SpanID  uint64
 }
 
 // Status is a response status code.
@@ -251,6 +261,12 @@ func (q *Request) Encode() []byte {
 	for _, kv := range q.Items {
 		encodeKV(&buf, kv)
 	}
+	// Optional trace extension (see Request.TraceID). Untraced requests
+	// stay byte-identical to the pre-extension encoding.
+	if q.TraceID != 0 {
+		putUvarint(&buf, q.TraceID)
+		putUvarint(&buf, q.SpanID)
+	}
 	return buf.Bytes()
 }
 
@@ -294,6 +310,19 @@ func DecodeRequest(b []byte) (*Request, error) {
 			return nil, fmt.Errorf("%w: item %d: %v", ErrBadMessage, i, err)
 		}
 		q.Items = append(q.Items, kv)
+	}
+	// Trace extension: pre-extension frames end here; a well-formed
+	// tail carries TraceID then SpanID. Anything else — including
+	// trailing garbage old decoders also ignored — is treated as
+	// untraced rather than rejected, keeping acceptance identical
+	// across codec versions.
+	if len(r.b) > 0 {
+		if tid, err := r.uvarint(); err == nil && tid != 0 {
+			if sid, err := r.uvarint(); err == nil {
+				q.TraceID = tid
+				q.SpanID = sid
+			}
+		}
 	}
 	return &q, nil
 }

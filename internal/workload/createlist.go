@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/sharoes/sharoes/internal/obs"
 	"github.com/sharoes/sharoes/internal/stats"
 	"github.com/sharoes/sharoes/internal/vfs"
 )
@@ -34,12 +35,17 @@ func (c CreateListConfig) Scaled(factor int) CreateListConfig {
 	return out
 }
 
-// CreateListResult reports the two phases with their cost decomposition.
+// CreateListResult reports the two phases with their cost decomposition
+// and per-operation latency distributions (one create, respectively one
+// stat, per observation), measured at the workload layer so baselines and
+// Sharoes are sampled identically.
 type CreateListResult struct {
 	Create      time.Duration
 	List        time.Duration
 	CreateStats stats.Snapshot
 	ListStats   stats.Snapshot
+	CreateLat   obs.HistSnapshot
+	ListLat     obs.HistSnapshot
 }
 
 // CreateList runs the benchmark: the create phase measures metadata
@@ -61,12 +67,16 @@ func CreateList(fs vfs.FS, rec *stats.Recorder, cfg CreateListConfig) (CreateLis
 			return res, fmt.Errorf("createlist: %w", err)
 		}
 	}
+	createHist := new(obs.Histogram)
 	for f := 0; f < cfg.Files; f++ {
+		t := time.Now()
 		if err := fs.Create(filePath(f%cfg.Dirs, f), 0o644); err != nil {
 			return res, fmt.Errorf("createlist: %w", err)
 		}
+		createHist.Observe(time.Since(t))
 	}
 	res.Create = time.Since(start)
+	res.CreateLat = createHist.Snapshot()
 	mid := rec.Snapshot()
 	res.CreateStats = mid.Sub(before)
 
@@ -74,6 +84,7 @@ func CreateList(fs vfs.FS, rec *stats.Recorder, cfg CreateListConfig) (CreateLis
 	// The list runs cold, as in the paper: creation and listing are
 	// separate program runs, so decryption costs are actually paid.
 	fs.Refresh()
+	listHist := new(obs.Histogram)
 	start = time.Now()
 	if _, err := fs.Stat("/bench"); err != nil {
 		return res, fmt.Errorf("createlist list: %w", err)
@@ -92,13 +103,16 @@ func CreateList(fs vfs.FS, rec *stats.Recorder, cfg CreateListConfig) (CreateLis
 			return res, fmt.Errorf("createlist list: %w", err)
 		}
 		for _, fn := range files {
+			t := time.Now()
 			if _, err := fs.Stat(dp + "/" + fn); err != nil {
 				return res, fmt.Errorf("createlist list: %w", err)
 			}
+			listHist.Observe(time.Since(t))
 		}
 	}
 	res.List = time.Since(start)
 	res.ListStats = rec.Snapshot().Sub(mid)
+	res.ListLat = listHist.Snapshot()
 	return res, nil
 }
 

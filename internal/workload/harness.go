@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"github.com/sharoes/sharoes/internal/stats"
 )
 
 // FigureOptions configures one figure regeneration.
@@ -51,6 +53,10 @@ func RunFig9(opts FigureOptions) ([]Fig9Row, error) {
 			acc.List += res.List
 			acc.CreateStats = addSnap(acc.CreateStats, res.CreateStats)
 			acc.ListStats = addSnap(acc.ListStats, res.ListStats)
+			// Latency distributions merge rather than average: percentiles
+			// over the pooled samples of all reps.
+			acc.CreateLat.Merge(res.CreateLat)
+			acc.ListLat.Merge(res.ListLat)
 		}
 		n := int64(opts.reps())
 		acc.Create /= time.Duration(n)
@@ -78,6 +84,8 @@ type Fig10Row struct {
 	System   SystemKind
 	CachePct int
 	Result   PostmarkResult
+	// Stats is the run's cost decomposition and wire-byte totals.
+	Stats stats.Snapshot
 }
 
 // RunFig10 regenerates Figure 10: Postmark time vs cache size (percent of
@@ -100,11 +108,12 @@ func RunFig10(opts FigureOptions, cachePcts []int) ([]Fig10Row, error) {
 				return nil, fmt.Errorf("fig10 %v/%d%%: %w", kind, pct, err)
 			}
 			res, err := Postmark(sys.FS, cfg)
+			snap := sys.Rec.Snapshot()
 			sys.Close()
 			if err != nil {
 				return nil, fmt.Errorf("fig10 %v/%d%%: %w", kind, pct, err)
 			}
-			rows = append(rows, Fig10Row{System: kind, CachePct: pct, Result: res})
+			rows = append(rows, Fig10Row{System: kind, CachePct: pct, Result: res, Stats: snap})
 		}
 	}
 	return rows, nil

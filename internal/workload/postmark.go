@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/sharoes/sharoes/internal/obs"
 	"github.com/sharoes/sharoes/internal/vfs"
 )
 
@@ -73,10 +74,12 @@ func (c PostmarkConfig) DataSetBytes() int64 {
 	return int64(c.Files) * int64(c.MinSize+c.MaxSize) / 2
 }
 
-// PostmarkResult is one Postmark run.
+// PostmarkResult is one Postmark run. TxLat is the per-transaction
+// latency distribution across all four transaction types.
 type PostmarkResult struct {
 	Total        time.Duration
 	Transactions int
+	TxLat        obs.HistSnapshot
 }
 
 // Postmark runs the benchmark: create the file pool, then perform random
@@ -118,7 +121,9 @@ func Postmark(fs vfs.FS, cfg PostmarkConfig) (PostmarkResult, error) {
 		live = append(live, p)
 	}
 
+	txHist := new(obs.Histogram)
 	for tx := 0; tx < cfg.Transactions; tx++ {
+		txStart := time.Now()
 		switch rng.Intn(4) {
 		case 0: // read
 			p := live[rng.Intn(len(live))]
@@ -148,8 +153,10 @@ func Postmark(fs vfs.FS, cfg PostmarkConfig) (PostmarkResult, error) {
 			live[i] = live[len(live)-1]
 			live = live[:len(live)-1]
 		}
+		txHist.Observe(time.Since(txStart))
 		res.Transactions++
 	}
 	res.Total = time.Since(start)
+	res.TxLat = txHist.Snapshot()
 	return res, nil
 }

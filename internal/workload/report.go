@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/sharoes/sharoes/internal/obs"
+	"github.com/sharoes/sharoes/internal/stats"
+)
+
+// ReportSchema versions the machine-readable benchmark output. Consumers
+// (CI smoke checks, plotting scripts) match on it exactly; any
+// incompatible change to BenchReport bumps the suffix.
+const ReportSchema = "sharoes-bench/v1"
+
+// BenchRow is one measured (figure, operation, system) cell: latency
+// distribution, Figure-13-style cost decomposition, and bytes moved.
+// All durations are nanoseconds so the JSON is unit-unambiguous.
+type BenchRow struct {
+	Figure string `json:"figure"`
+	Op     string `json:"op"`
+	System string `json:"system"`
+	// CachePct is the Figure 10 x-axis (cache size as percent of the
+	// data set); absent for figures without a cache sweep.
+	CachePct *int `json:"cache_pct,omitempty"`
+
+	Count   int64 `json:"count"`
+	TotalNs int64 `json:"total_ns"`
+	MeanNs  int64 `json:"mean_ns"`
+	P50Ns   int64 `json:"p50_ns"`
+	P95Ns   int64 `json:"p95_ns"`
+	P99Ns   int64 `json:"p99_ns"`
+
+	NetworkNs int64 `json:"network_ns"`
+	CryptoNs  int64 `json:"crypto_ns"`
+	OtherNs   int64 `json:"other_ns"`
+	BytesOut  int64 `json:"bytes_out"`
+	BytesIn   int64 `json:"bytes_in"`
+}
+
+// BenchReport is the top-level machine-readable result document written
+// by `sharoes-bench -json`.
+type BenchReport struct {
+	Schema string `json:"schema"`
+	Figure string `json:"figure"`
+	// Profile names the simulated link ("dsl", "t1", ...) the run used.
+	Profile string `json:"profile"`
+	// Scale divides the paper's workload sizes (1 = full paper scale).
+	Scale int `json:"scale"`
+	// Scheme is the Sharoes metadata layout under test.
+	Scheme string     `json:"scheme"`
+	Rows   []BenchRow `json:"rows"`
+}
+
+// benchRow assembles one row from a latency distribution, a total
+// duration, and a cost snapshot.
+func benchRow(figure, op string, sys SystemKind, totalNs int64, lat obs.HistSnapshot, snap stats.Snapshot) BenchRow {
+	return BenchRow{
+		Figure:    figure,
+		Op:        op,
+		System:    sys.String(),
+		Count:     lat.Count,
+		TotalNs:   totalNs,
+		MeanNs:    int64(lat.Mean()),
+		P50Ns:     int64(lat.Quantile(0.50)),
+		P95Ns:     int64(lat.Quantile(0.95)),
+		P99Ns:     int64(lat.Quantile(0.99)),
+		NetworkNs: int64(snap.Network),
+		CryptoNs:  int64(snap.Crypto),
+		OtherNs:   int64(snap.Other),
+		BytesOut:  snap.BytesOut,
+		BytesIn:   snap.BytesIn,
+	}
+}
+
+// Fig9Report converts a Figure 9 run into the machine-readable schema:
+// two rows per system, one for each phase.
+func Fig9Report(rows []Fig9Row, profile string, scale int, scheme string) BenchReport {
+	rep := BenchReport{Schema: ReportSchema, Figure: "fig9", Profile: profile, Scale: scale, Scheme: scheme}
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows,
+			benchRow("fig9", "create", r.System, int64(r.Result.Create), r.Result.CreateLat, r.Result.CreateStats),
+			benchRow("fig9", "list", r.System, int64(r.Result.List), r.Result.ListLat, r.Result.ListStats))
+	}
+	return rep
+}
+
+// Fig10Report converts a Figure 10 cache sweep into the machine-readable
+// schema: one per-transaction row per (system, cache size) point.
+func Fig10Report(rows []Fig10Row, profile string, scale int, scheme string) BenchReport {
+	rep := BenchReport{Schema: ReportSchema, Figure: "fig10", Profile: profile, Scale: scale, Scheme: scheme}
+	for _, r := range rows {
+		row := benchRow("fig10", "postmark-tx", r.System, int64(r.Result.Total), r.Result.TxLat, r.Stats)
+		pct := r.CachePct
+		row.CachePct = &pct
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep
+}
+
+// ValidateReport checks the structural invariants consumers rely on. It
+// is the same check the CI smoke step runs against `sharoes-bench -json`
+// output, so schema regressions fail in tests before they fail in CI.
+func ValidateReport(rep BenchReport) error {
+	if rep.Schema != ReportSchema {
+		return fmt.Errorf("report: schema %q, want %q", rep.Schema, ReportSchema)
+	}
+	if rep.Figure == "" {
+		return fmt.Errorf("report: empty figure")
+	}
+	if rep.Scale < 1 {
+		return fmt.Errorf("report: scale %d < 1", rep.Scale)
+	}
+	if len(rep.Rows) == 0 {
+		return fmt.Errorf("report: no rows")
+	}
+	for i, r := range rep.Rows {
+		if r.Figure != rep.Figure {
+			return fmt.Errorf("report row %d: figure %q != %q", i, r.Figure, rep.Figure)
+		}
+		if r.Op == "" || r.System == "" {
+			return fmt.Errorf("report row %d: empty op or system", i)
+		}
+		if r.Count <= 0 {
+			return fmt.Errorf("report row %d (%s/%s): count %d", i, r.System, r.Op, r.Count)
+		}
+		if r.TotalNs <= 0 || r.MeanNs <= 0 {
+			return fmt.Errorf("report row %d (%s/%s): non-positive total/mean", i, r.System, r.Op)
+		}
+		if r.P50Ns > r.P95Ns || r.P95Ns > r.P99Ns {
+			return fmt.Errorf("report row %d (%s/%s): quantiles not monotone (%d/%d/%d)",
+				i, r.System, r.Op, r.P50Ns, r.P95Ns, r.P99Ns)
+		}
+		if r.NetworkNs < 0 || r.CryptoNs < 0 || r.OtherNs < 0 || r.BytesOut < 0 || r.BytesIn < 0 {
+			return fmt.Errorf("report row %d (%s/%s): negative component", i, r.System, r.Op)
+		}
+	}
+	return nil
+}
+
+// WriteReport validates rep and writes it as indented JSON.
+func WriteReport(w io.Writer, rep BenchReport) error {
+	if err := ValidateReport(rep); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ParseReport decodes and validates a report, for consumers and the CI
+// smoke check.
+func ParseReport(data []byte) (BenchReport, error) {
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("report: %w", err)
+	}
+	return rep, ValidateReport(rep)
+}

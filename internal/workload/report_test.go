@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sharoes/sharoes/internal/obs"
+	"github.com/sharoes/sharoes/internal/stats"
+)
+
+func sampleHist(durs ...time.Duration) obs.HistSnapshot {
+	h := new(obs.Histogram)
+	for _, d := range durs {
+		h.Observe(d)
+	}
+	return h.Snapshot()
+}
+
+func sampleFig9Rows() []Fig9Row {
+	lat := sampleHist(time.Millisecond, 2*time.Millisecond, 4*time.Millisecond)
+	snap := stats.Snapshot{Network: time.Millisecond, Crypto: 2 * time.Millisecond,
+		Other: time.Millisecond, BytesOut: 100, BytesIn: 200}
+	return []Fig9Row{{
+		System: SysSharoes,
+		Result: CreateListResult{
+			Create: 7 * time.Millisecond, List: 5 * time.Millisecond,
+			CreateStats: snap, ListStats: snap,
+			CreateLat: lat, ListLat: lat,
+		},
+	}}
+}
+
+func TestFig9ReportRoundTrip(t *testing.T) {
+	rep := Fig9Report(sampleFig9Rows(), "dsl", 100, "scheme2")
+	if err := ValidateReport(rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (create + list)", len(rep.Rows))
+	}
+	if rep.Rows[0].Op != "create" || rep.Rows[1].Op != "list" {
+		t.Fatalf("ops = %q/%q", rep.Rows[0].Op, rep.Rows[1].Op)
+	}
+	if rep.Rows[0].System != "SHAROES" {
+		t.Fatalf("system = %q", rep.Rows[0].System)
+	}
+	if rep.Rows[0].CachePct != nil {
+		t.Fatal("fig9 row has cache_pct")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseReport(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != ReportSchema || back.Figure != "fig9" || len(back.Rows) != 2 {
+		t.Fatalf("round trip mangled report: %+v", back)
+	}
+}
+
+func TestFig10ReportCachePct(t *testing.T) {
+	lat := sampleHist(time.Millisecond, 3*time.Millisecond)
+	rows := []Fig10Row{{
+		System: SysPubOpt, CachePct: 40,
+		Result: PostmarkResult{Total: 9 * time.Millisecond, Transactions: 2, TxLat: lat},
+		Stats:  stats.Snapshot{Network: time.Millisecond, BytesOut: 10, BytesIn: 20},
+	}}
+	rep := Fig10Report(rows, "dsl", 50, "scheme2")
+	if err := ValidateReport(rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rows[0].CachePct == nil || *rep.Rows[0].CachePct != 40 {
+		t.Fatalf("cache_pct = %v, want 40", rep.Rows[0].CachePct)
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"cache_pct": 40`) {
+		t.Fatalf("JSON missing cache_pct: %s", buf.String())
+	}
+}
+
+func TestValidateReportRejects(t *testing.T) {
+	good := Fig9Report(sampleFig9Rows(), "dsl", 100, "scheme2")
+	cases := []struct {
+		name   string
+		break_ func(*BenchReport)
+	}{
+		{"wrong schema", func(r *BenchReport) { r.Schema = "sharoes-bench/v0" }},
+		{"empty figure", func(r *BenchReport) { r.Figure = "" }},
+		{"zero scale", func(r *BenchReport) { r.Scale = 0 }},
+		{"no rows", func(r *BenchReport) { r.Rows = nil }},
+		{"figure mismatch", func(r *BenchReport) { r.Rows[0].Figure = "fig10" }},
+		{"empty op", func(r *BenchReport) { r.Rows[0].Op = "" }},
+		{"zero count", func(r *BenchReport) { r.Rows[0].Count = 0 }},
+		{"non-monotone quantiles", func(r *BenchReport) { r.Rows[0].P50Ns = r.Rows[0].P99Ns + 1 }},
+		{"negative bytes", func(r *BenchReport) { r.Rows[0].BytesIn = -1 }},
+	}
+	for _, tc := range cases {
+		rep := good
+		rep.Rows = append([]BenchRow(nil), good.Rows...)
+		tc.break_(&rep)
+		if err := ValidateReport(rep); err == nil {
+			t.Errorf("%s: validated, want error", tc.name)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"github.com/sharoes/sharoes/internal/layout"
 	"github.com/sharoes/sharoes/internal/migrate"
 	"github.com/sharoes/sharoes/internal/netsim"
+	"github.com/sharoes/sharoes/internal/obs"
 	"github.com/sharoes/sharoes/internal/ssp"
 	"github.com/sharoes/sharoes/internal/stats"
 	"github.com/sharoes/sharoes/internal/types"
@@ -118,6 +119,12 @@ type Options struct {
 	Scheme string
 	// LazyRevocation switches the Sharoes revocation mode.
 	LazyRevocation bool
+	// Trace attaches an obs metrics registry and client/server tracers to
+	// the built system (System.Metrics, System.Tracer,
+	// System.ServerTracer). Client ops then produce full span trees with
+	// SSP-side handler spans joined over the wire, at a small constant
+	// per-op cost — off by default so benchmark numbers stay comparable.
+	Trace bool
 }
 
 // CalibratedProfile is the default benchmark link: the paper's DSL link
@@ -142,11 +149,17 @@ func (o *Options) defaults() {
 // System is one built system under test: a mounted filesystem speaking to
 // a fresh SSP over its own simulated link, with instrumentation attached.
 type System struct {
-	Kind     SystemKind
-	FS       vfs.FS
-	Rec      *stats.Recorder
-	Store    ssp.BlobStore // the client-side (remote) store
-	Backing  *ssp.MemStore // the SSP's backing store
+	Kind    SystemKind
+	FS      vfs.FS
+	Rec     *stats.Recorder
+	Store   ssp.BlobStore // the client-side (remote) store
+	Backing *ssp.MemStore // the SSP's backing store
+
+	// Observability, populated when Options.Trace is set.
+	Metrics      *obs.Registry
+	Tracer       *obs.Tracer // client-side spans
+	ServerTracer *obs.Tracer // SSP-side spans, joined via wire trace IDs
+
 	teardown []func() error
 }
 
@@ -173,6 +186,15 @@ func Build(kind SystemKind, opts Options) (*System, error) {
 	backing := ssp.NewMemStore()
 	server := ssp.NewServer(backing, nil)
 	lis := netsim.Listen(opts.Profile)
+
+	sys := &System{Kind: kind, Backing: backing}
+	if opts.Trace {
+		sys.Metrics = obs.NewRegistry()
+		sys.Tracer = obs.NewTracer("client")
+		sys.ServerTracer = obs.NewTracer("ssp")
+		server.Observe(sys.Metrics, sys.ServerTracer)
+		lis.Observe(sys.Metrics)
+	}
 	go server.Serve(lis)
 
 	rec := &stats.Recorder{}
@@ -181,7 +203,7 @@ func Build(kind SystemKind, opts Options) (*System, error) {
 		return nil, err
 	}
 
-	sys := &System{Kind: kind, Rec: rec, Store: remote, Backing: backing}
+	sys.Rec, sys.Store = rec, remote
 	sys.teardown = append(sys.teardown, func() error { return server.Close() })
 	sys.teardown = append(sys.teardown, remote.Close)
 
@@ -204,7 +226,8 @@ func Build(kind SystemKind, opts Options) (*System, error) {
 		}
 		fs, err := client.Mount(client.Config{Store: remote, User: alice, Registry: reg,
 			Layout: eng, FSID: fsid, Recorder: rec, CacheBytes: opts.CacheBytes,
-			BlockSize: opts.BlockSize, LazyRevocation: opts.LazyRevocation})
+			BlockSize: opts.BlockSize, LazyRevocation: opts.LazyRevocation,
+			Tracer: sys.Tracer, Metrics: sys.Metrics})
 		if err != nil {
 			sys.Close()
 			return nil, err
