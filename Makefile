@@ -20,7 +20,7 @@ FUZZ_TARGETS := \
 
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet vet-self race fuzz-smoke check
+.PHONY: all build test vet vet-self race fuzz-smoke bench-compare check
 
 all: build
 
@@ -47,6 +47,14 @@ vet-self:
 # the race detector.
 race:
 	$(GO) test -race ./internal/client ./internal/ssp ./internal/cache ./internal/obs
+
+# bench-compare proves the committed artifacts' transport claim: the
+# parallel pipelined + write-behind run must beat the serial run by >=2x
+# effective mean latency on every (figure, op, system) row. CI runs it;
+# regenerate all four artifacts (docs/OBSERVABILITY.md) after perf work.
+bench-compare:
+	$(GO) run ./cmd/checkreport -old BENCH_createlist_serial.json -new BENCH_createlist.json -min-speedup 2.0
+	$(GO) run ./cmd/checkreport -old BENCH_postmark_serial.json -new BENCH_postmark.json -min-speedup 2.0
 
 # fuzz-smoke runs every fuzz target for a short burst — enough to catch
 # regressions on the saved corpus plus a little fresh exploration.

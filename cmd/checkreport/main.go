@@ -1,15 +1,33 @@
-// Command checkreport validates a sharoes-bench machine-readable report
-// (schema sharoes-bench/v1). CI runs it against the bench smoke step's
-// output so schema regressions fail the build; exit 0 means the file
-// parses and satisfies every invariant workload.ValidateReport checks.
+// Command checkreport validates and compares sharoes-bench machine-readable
+// reports (schema sharoes-bench/v1).
 //
-// Usage: checkreport report.json [more.json ...]
+// Validate mode (the CI smoke check): exit 0 means every file parses and
+// satisfies workload.ValidateReport's invariants.
+//
+//	checkreport report.json [more.json ...]
+//
+// Compare mode: diff two reports row by row — rows match on (figure, op,
+// system, cache_pct) — and fail when the new report regresses the old one
+// beyond a tolerance, or fails to reach a required speedup. The comparison
+// metric is the effective mean latency total_ns/count (the bucketed
+// histogram MeanNs carries quantization error; the totals do not).
+//
+//	checkreport -old serial.json -new parallel.json -min-speedup 2.0
+//	checkreport -old baseline.json -new current.json -max-regress 10%
+//
+// Rows whose baseline spends more than -crypto-bound of its wall time in
+// crypto are CPU-bound: pipelining overlaps network waits, not single-core
+// compute, so for those rows -min-speedup relaxes to "no regression"
+// (ratio >= 1). -max-regress applies to every row regardless.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"github.com/sharoes/sharoes/internal/workload"
 )
@@ -17,18 +35,150 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("checkreport: ")
-	if len(os.Args) < 2 {
-		log.Fatal("usage: checkreport report.json [more.json ...]")
+	oldPath := flag.String("old", "", "baseline report for compare mode")
+	newPath := flag.String("new", "", "candidate report for compare mode")
+	maxRegress := flag.String("max-regress", "", "fail if any matched row's effective mean is more than this much slower in -new (e.g. 10%)")
+	minSpeedup := flag.Float64("min-speedup", 0, "fail unless every matched row's effective mean improved by at least this factor in -new")
+	cryptoBound := flag.Float64("crypto-bound", 0.5, "crypto fraction of the baseline row above which -min-speedup relaxes to no-regression")
+	flag.Parse()
+
+	if (*oldPath == "") != (*newPath == "") {
+		log.Fatal("compare mode needs both -old and -new")
 	}
-	for _, path := range os.Args[1:] {
-		data, err := os.ReadFile(path)
+	if *oldPath != "" {
+		if err := compare(*oldPath, *newPath, *maxRegress, *minSpeedup, *cryptoBound); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if flag.NArg() < 1 {
+		log.Fatal("usage: checkreport report.json [more.json ...]\n" +
+			"       checkreport -old A.json -new B.json [-max-regress 10%] [-min-speedup 2.0]")
+	}
+	for _, path := range flag.Args() {
+		rep, err := load(path)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rep, err := workload.ParseReport(data)
-		if err != nil {
-			log.Fatalf("%s: %v", path, err)
-		}
 		fmt.Printf("%s: ok (%s, figure %s, %d rows)\n", path, rep.Schema, rep.Figure, len(rep.Rows))
 	}
+}
+
+func load(path string) (workload.BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return workload.BenchReport{}, err
+	}
+	rep, err := workload.ParseReport(data)
+	if err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// rowKey identifies a comparable measurement across reports.
+func rowKey(r workload.BenchRow) string {
+	k := r.Figure + "|" + r.Op + "|" + r.System
+	if r.CachePct != nil {
+		k += "|" + strconv.Itoa(*r.CachePct)
+	}
+	return k
+}
+
+// cryptoFraction is the share of the row's wall time spent in crypto.
+func cryptoFraction(r workload.BenchRow) float64 {
+	if r.TotalNs <= 0 {
+		return 0
+	}
+	return float64(r.CryptoNs) / float64(r.TotalNs)
+}
+
+// effMean is the row's effective mean latency in nanoseconds per
+// observation, computed from the exact totals rather than the bucketed
+// histogram mean.
+func effMean(r workload.BenchRow) float64 {
+	return float64(r.TotalNs) / float64(r.Count)
+}
+
+// parsePct parses "10%" or "0.10" into a fraction.
+func parsePct(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if p, ok := strings.CutSuffix(s, "%"); ok {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad percentage %q", s)
+		}
+		return v / 100, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad tolerance %q", s)
+	}
+	return v, nil
+}
+
+func compare(oldPath, newPath, maxRegress string, minSpeedup, cryptoBound float64) error {
+	oldRep, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	var tol float64
+	if maxRegress != "" {
+		if tol, err = parsePct(maxRegress); err != nil {
+			return err
+		}
+	}
+
+	oldRows := make(map[string]workload.BenchRow, len(oldRep.Rows))
+	for _, r := range oldRep.Rows {
+		oldRows[rowKey(r)] = r
+	}
+
+	matched := 0
+	var failures []string
+	for _, nr := range newRep.Rows {
+		or, ok := oldRows[rowKey(nr)]
+		if !ok {
+			continue
+		}
+		matched++
+		om, nm := effMean(or), effMean(nr)
+		ratio := om / nm // >1 means -new is faster
+		verdict := ""
+		if maxRegress != "" && nm > om*(1+tol) {
+			verdict = fmt.Sprintf(" REGRESSION (> %s slower)", maxRegress)
+		}
+		note := ""
+		if minSpeedup > 0 {
+			need := minSpeedup
+			if frac := cryptoFraction(or); frac > cryptoBound {
+				// CPU-bound baseline: transport parallelism cannot
+				// overlap single-core compute, so require only that the
+				// row did not get slower.
+				need = 1.0
+				note = fmt.Sprintf(" [crypto-bound %.0f%%]", 100*frac)
+			}
+			if ratio < need {
+				verdict += fmt.Sprintf(" TOO SLOW (speedup %.2fx < %.2fx)", ratio, need)
+			}
+		}
+		fmt.Printf("%-40s %12.0fns -> %12.0fns  %5.2fx%s%s\n", rowKey(nr), om, nm, ratio, verdict, note)
+		if verdict != "" {
+			failures = append(failures, rowKey(nr)+verdict)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no rows match between %s and %s", oldPath, newPath)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d of %d matched rows failed:\n  %s",
+			len(failures), matched, strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("ok: %d rows compared, none regressed\n", matched)
+	return nil
 }

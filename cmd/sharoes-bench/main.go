@@ -37,7 +37,13 @@ func main() {
 	reps := flag.Int("reps", 1, "average each measurement over this many runs (the paper used 10)")
 	jsonPath := flag.String("json", "", "write the figure's machine-readable report ("+workload.ReportSchema+" JSON) to this path; figures 9 and 10 only")
 	tracePath := flag.String("trace", "", "instead of a figure, run a traced SHAROES Create-and-List and write a Chrome trace_event JSON to this path")
+	parallel := flag.Int("parallel", 1, "run Create-and-List and Postmark across this many concurrent sessions over one pipelined SSP connection (figures 9 and 10)")
+	wb := flag.Bool("wb", false, "interpose the write-behind batching layer between sessions and the SSP connection")
 	flag.Parse()
+
+	if *parallel > 1 && *tracePath != "" {
+		log.Fatalf("-trace and -parallel are mutually exclusive (a tracer follows one operation tree at a time)")
+	}
 
 	var prof netsim.Profile
 	switch *profile {
@@ -51,9 +57,10 @@ func main() {
 		log.Fatalf("unknown profile %q", *profile)
 	}
 	opts := workload.FigureOptions{
-		Options: workload.Options{Profile: prof, CacheBytes: -1, Scheme: *scheme},
-		Scale:   *scale,
-		Reps:    *reps,
+		Options: workload.Options{Profile: prof, CacheBytes: -1, Scheme: *scheme,
+			Parallel: *parallel, WriteBehind: *wb},
+		Scale: *scale,
+		Reps:  *reps,
 	}
 
 	if *tracePath != "" {
@@ -67,6 +74,10 @@ func main() {
 		log.Fatalf("-json needs -fig 9 or -fig 10 (machine-readable reports exist for those figures)")
 	}
 	writeJSON := func(rep workload.BenchReport) error {
+		if *parallel > 1 {
+			rep.Parallel = *parallel
+		}
+		rep.WriteBehind = *wb
 		f, err := os.Create(*jsonPath)
 		if err != nil {
 			return err
@@ -78,7 +89,14 @@ func main() {
 		return f.Close()
 	}
 
-	fmt.Printf("sharoes-bench: profile=%s scale=1/%d scheme=%s\n\n", *profile, *scale, *scheme)
+	mode := ""
+	if *parallel > 1 {
+		mode = fmt.Sprintf(" parallel=%d", *parallel)
+	}
+	if *wb {
+		mode += " write-behind"
+	}
+	fmt.Printf("sharoes-bench: profile=%s scale=1/%d scheme=%s%s\n\n", *profile, *scale, *scheme, mode)
 
 	run := func(name string, f func() error) {
 		if *fig != "all" && *fig != name {

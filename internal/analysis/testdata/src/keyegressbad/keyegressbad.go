@@ -35,3 +35,11 @@ func BadFile(path string, k sharocrypto.PrivateKey) error {
 	enc := base64.StdEncoding.EncodeToString(k.Marshal())
 	return os.WriteFile(path, []byte(enc), 0o644) // finding: file write
 }
+
+// BadAsyncStore ships raw key bytes to the SSP from a write-behind-style
+// background goroutine — asynchrony must not launder the egress.
+func BadAsyncStore(st ssp.BlobStore, k sharocrypto.SymKey, done chan<- error) {
+	go func() {
+		done <- st.Put(wire.NSData, "k", k[:]) // finding: store write on async path
+	}()
+}

@@ -41,3 +41,12 @@ func GoodTag(st ssp.BlobStore, k sharocrypto.SymKey, name string) error {
 	tag := k.NameTag(name)
 	return st.Put(wire.NSData, "t", tag[:])
 }
+
+// GoodAsyncStore seals under a data key before the background goroutine's
+// store write: the async flush path carries only ciphertext.
+func GoodAsyncStore(st ssp.BlobStore, dek sharocrypto.SymKey, plain []byte, done chan<- error) {
+	sealed := dek.Seal(plain, []byte("ctx"))
+	go func() {
+		done <- st.Put(wire.NSData, "k", sealed)
+	}()
+}

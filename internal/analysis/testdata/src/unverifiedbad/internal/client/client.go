@@ -56,3 +56,19 @@ func (c *Client) selectKey() sharocrypto.SymKey {
 	seed, _ := sharocrypto.SymKeyFromBytes(blob)
 	return cap.MEKFor(seed, "o") // finding: key-selection from unverified input
 }
+
+// Prefetch fills the cache from background goroutines — the async path the
+// pipelined client makes cheap. Moving the fetch off the caller's
+// goroutine must not launder the taint: the raw SSP bytes still land in
+// trusted client state.
+func (c *Client) Prefetch(keys []string) {
+	for _, k := range keys {
+		go func(k string) {
+			blob, err := c.store.Get(wire.NSData, k)
+			if err != nil {
+				return
+			}
+			c.cache.Put(k, blob, int64(len(blob))) // finding: cache insert on async path
+		}(k)
+	}
+}

@@ -62,3 +62,21 @@ func (c *Client) Raw(key string) []byte {
 	//sharoes-vet:allow unverified fixture exercises directive suppression
 	return blob
 }
+
+// Prefetch authenticates on the async path too: the background goroutine
+// opens (decrypt + verify) each blob before it may touch the cache.
+func (c *Client) Prefetch(keys []string, aad []byte) {
+	for _, k := range keys {
+		go func(k string) {
+			blob, err := c.store.Get(wire.NSData, k)
+			if err != nil {
+				return
+			}
+			pt, err := meta.OpenVerified(c.mek, c.mvk, aad, blob)
+			if err != nil {
+				return
+			}
+			c.cache.Put(k, pt, int64(len(pt)))
+		}(k)
+	}
+}

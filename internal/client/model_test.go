@@ -61,165 +61,183 @@ func TestModelEquivalence(t *testing.T) {
 	filePerms := []string{"644", "600", "640", "664", "444", "000", "660", "642", "621"}
 	dirPerms := []string{"755", "700", "750", "711", "744", "775", "000", "753", "733"}
 
-	for _, scheme := range []string{"scheme2", "scheme1"} {
-		for seed := int64(1); seed <= 3; seed++ {
-			t.Run(fmt.Sprintf("%s/seed%d", scheme, seed), func(t *testing.T) {
-				rng := rand.New(rand.NewSource(seed))
-				store := ssp.NewMemStore()
-				var eng layout.Engine = layout.NewScheme2(fixReg)
-				if scheme == "scheme1" {
-					eng = layout.NewScheme1(fixReg)
-				}
-				if err := migrate.Bootstrap(migrate.Options{Store: store, Registry: fixReg,
-					Layout: eng, FSID: "modelfs", RootOwner: "alice", RootGroup: "eng",
-					RootPerm: 0o755}); err != nil {
-					t.Fatal(err)
-				}
-				model := refmodel.New("alice", "eng", 0o755, members)
-
-				sess := make(map[types.UserID]*Session)
-				for _, u := range users {
-					s, err := Mount(Config{Store: store, User: fixUser[u], Registry: fixReg,
-						Layout: eng, FSID: "modelfs", CacheBytes: 0, BlockSize: 48})
-					if err != nil {
+	// The wb dimension interposes the ssp.WriteBehind batching layer shared
+	// by all four users' sessions: with puts buffered and flushed lazily,
+	// every result and error class must STILL match the reference model —
+	// the read-after-write coherence proof for the write-behind layer.
+	for _, wb := range []bool{false, true} {
+		name := func(scheme string, seed int64) string {
+			if wb {
+				return fmt.Sprintf("%s/seed%d/wb", scheme, seed)
+			}
+			return fmt.Sprintf("%s/seed%d", scheme, seed)
+		}
+		for _, scheme := range []string{"scheme2", "scheme1"} {
+			for seed := int64(1); seed <= 3; seed++ {
+				t.Run(name(scheme, seed), func(t *testing.T) {
+					rng := rand.New(rand.NewSource(seed))
+					store := ssp.NewMemStore()
+					var eng layout.Engine = layout.NewScheme2(fixReg)
+					if scheme == "scheme1" {
+						eng = layout.NewScheme1(fixReg)
+					}
+					if err := migrate.Bootstrap(migrate.Options{Store: store, Registry: fixReg,
+						Layout: eng, FSID: "modelfs", RootOwner: "alice", RootGroup: "eng",
+						RootPerm: 0o755}); err != nil {
 						t.Fatal(err)
 					}
-					defer s.Close()
-					sess[u] = s
-				}
-
-				randPath := func() string {
-					depth := rng.Intn(3) + 1
-					p := ""
-					for i := 0; i < depth; i++ {
-						p += "/" + names[rng.Intn(len(names))]
+					var sstore ssp.BlobStore = store
+					if wb {
+						w := ssp.NewWriteBehind(store, ssp.WriteBehindOptions{})
+						defer w.Close()
+						sstore = w
 					}
-					return p
-				}
-				randData := func() []byte {
-					n := rng.Intn(200)
-					b := make([]byte, n)
-					rng.Read(b)
-					return b
-				}
-				pperm := func(pool []string) types.Perm {
-					p, _ := types.ParsePerm(pool[rng.Intn(len(pool))])
-					return p
-				}
+					model := refmodel.New("alice", "eng", 0o755, members)
 
-				for step := 0; step < steps; step++ {
-					u := users[rng.Intn(len(users))]
-					s := sess[u]
-					path := randPath()
-					opn := rng.Intn(100)
-					var desc string
-					var gotErr, wantErr error
-					switch {
-					case opn < 15: // mkdir
-						p := pperm(dirPerms)
-						desc = fmt.Sprintf("%s mkdir %s %s", u, path, p)
-						gotErr = s.Mkdir(path, p)
-						wantErr = model.Mkdir(u, path, p)
-					case opn < 30: // write
-						p := pperm(filePerms)
-						data := randData()
-						desc = fmt.Sprintf("%s write %s (%d bytes, %s)", u, path, len(data), p)
-						gotErr = s.WriteFile(path, data, p)
-						wantErr = model.WriteFile(u, path, data, p)
-					case opn < 40: // read
-						desc = fmt.Sprintf("%s read %s", u, path)
-						got, ge := s.ReadFile(path)
-						want, we := model.ReadFile(u, path)
-						gotErr, wantErr = ge, we
-						if ge == nil && we == nil && !bytes.Equal(got, want) {
-							t.Fatalf("step %d: %s: content mismatch (%d vs %d bytes)", step, desc, len(got), len(want))
+					sess := make(map[types.UserID]*Session)
+					for _, u := range users {
+						s, err := Mount(Config{Store: sstore, User: fixUser[u], Registry: fixReg,
+							Layout: eng, FSID: "modelfs", CacheBytes: 0, BlockSize: 48})
+						if err != nil {
+							t.Fatal(err)
 						}
-					case opn < 50: // stat
-						desc = fmt.Sprintf("%s stat %s", u, path)
-						got, ge := s.Stat(path)
-						want, we := model.Stat(u, path)
-						gotErr, wantErr = ge, we
-						if ge == nil && we == nil {
-							if got.Kind != want.Kind || got.Owner != want.Owner ||
-								got.Group != want.Group || got.Perm != want.Perm {
-								t.Fatalf("step %d: %s: info mismatch %+v vs %+v", step, desc, got, want)
-							}
-							if want.Kind == types.KindFile && model.CanRead(u, path) &&
-								got.Size != want.Size {
-								t.Fatalf("step %d: %s: size %d vs %d", step, desc, got.Size, want.Size)
-							}
+						defer s.Close()
+						sess[u] = s
+					}
+
+					randPath := func() string {
+						depth := rng.Intn(3) + 1
+						p := ""
+						for i := 0; i < depth; i++ {
+							p += "/" + names[rng.Intn(len(names))]
 						}
-					case opn < 60: // readdir
-						desc = fmt.Sprintf("%s readdir %s", u, path)
-						got, ge := s.ReadDir(path)
-						want, we := model.ReadDir(u, path)
-						gotErr, wantErr = ge, we
-						if ge == nil && we == nil {
-							if len(got) != len(want) {
-								t.Fatalf("step %d: %s: %v vs %v", step, desc, got, want)
+						return p
+					}
+					randData := func() []byte {
+						n := rng.Intn(200)
+						b := make([]byte, n)
+						rng.Read(b)
+						return b
+					}
+					pperm := func(pool []string) types.Perm {
+						p, _ := types.ParsePerm(pool[rng.Intn(len(pool))])
+						return p
+					}
+
+					for step := 0; step < steps; step++ {
+						u := users[rng.Intn(len(users))]
+						s := sess[u]
+						path := randPath()
+						opn := rng.Intn(100)
+						var desc string
+						var gotErr, wantErr error
+						switch {
+						case opn < 15: // mkdir
+							p := pperm(dirPerms)
+							desc = fmt.Sprintf("%s mkdir %s %s", u, path, p)
+							gotErr = s.Mkdir(path, p)
+							wantErr = model.Mkdir(u, path, p)
+						case opn < 30: // write
+							p := pperm(filePerms)
+							data := randData()
+							desc = fmt.Sprintf("%s write %s (%d bytes, %s)", u, path, len(data), p)
+							gotErr = s.WriteFile(path, data, p)
+							wantErr = model.WriteFile(u, path, data, p)
+						case opn < 40: // read
+							desc = fmt.Sprintf("%s read %s", u, path)
+							got, ge := s.ReadFile(path)
+							want, we := model.ReadFile(u, path)
+							gotErr, wantErr = ge, we
+							if ge == nil && we == nil && !bytes.Equal(got, want) {
+								t.Fatalf("step %d: %s: content mismatch (%d vs %d bytes)", step, desc, len(got), len(want))
 							}
-							for i := range got {
-								if got[i] != want[i] {
-									t.Fatalf("step %d: %s: %v vs %v", step, desc, got, want)
+						case opn < 50: // stat
+							desc = fmt.Sprintf("%s stat %s", u, path)
+							got, ge := s.Stat(path)
+							want, we := model.Stat(u, path)
+							gotErr, wantErr = ge, we
+							if ge == nil && we == nil {
+								if got.Kind != want.Kind || got.Owner != want.Owner ||
+									got.Group != want.Group || got.Perm != want.Perm {
+									t.Fatalf("step %d: %s: info mismatch %+v vs %+v", step, desc, got, want)
+								}
+								if want.Kind == types.KindFile && model.CanRead(u, path) &&
+									got.Size != want.Size {
+									t.Fatalf("step %d: %s: size %d vs %d", step, desc, got.Size, want.Size)
 								}
 							}
-						}
-					case opn < 68: // append
-						data := randData()
-						desc = fmt.Sprintf("%s append %s (%d bytes)", u, path, len(data))
-						gotErr = s.Append(path, data)
-						wantErr = model.Append(u, path, data)
-					case opn < 78: // chmod
-						var p types.Perm
-						if rng.Intn(2) == 0 {
-							p = pperm(filePerms)
-						} else {
-							p = pperm(dirPerms)
-						}
-						desc = fmt.Sprintf("%s chmod %s %s", u, path, p)
-						gotErr = s.Chmod(path, p)
-						wantErr = model.Chmod(u, path, p)
-					case opn < 84: // chown
-						newOwner := users[rng.Intn(len(users))]
-						groups := []types.GroupID{"eng", "qa", ""}
-						newGroup := groups[rng.Intn(len(groups))]
-						desc = fmt.Sprintf("%s chown %s %s:%s", u, path, newOwner, newGroup)
-						gotErr = s.Chown(path, newOwner, newGroup)
-						wantErr = model.Chown(u, path, newOwner, newGroup)
-					case opn < 88: // setacl / removeacl
-						target := users[rng.Intn(len(users))]
-						if rng.Intn(3) == 0 {
-							desc = fmt.Sprintf("%s removeacl %s %s", u, path, target)
-							gotErr = s.RemoveACL(path, target)
-							wantErr = model.RemoveACL(u, path, target)
-						} else {
-							rightsPool := []types.Triplet{
-								types.TripletRead,
-								types.TripletRead | types.TripletWrite,
-								types.TripletRead | types.TripletExec,
-								types.TripletRead | types.TripletWrite | types.TripletExec,
-								0,
+						case opn < 60: // readdir
+							desc = fmt.Sprintf("%s readdir %s", u, path)
+							got, ge := s.ReadDir(path)
+							want, we := model.ReadDir(u, path)
+							gotErr, wantErr = ge, we
+							if ge == nil && we == nil {
+								if len(got) != len(want) {
+									t.Fatalf("step %d: %s: %v vs %v", step, desc, got, want)
+								}
+								for i := range got {
+									if got[i] != want[i] {
+										t.Fatalf("step %d: %s: %v vs %v", step, desc, got, want)
+									}
+								}
 							}
-							rights := rightsPool[rng.Intn(len(rightsPool))]
-							desc = fmt.Sprintf("%s setacl %s %s=%s", u, path, target, rights)
-							gotErr = s.SetACL(path, target, rights)
-							wantErr = model.SetACL(u, path, target, rights)
+						case opn < 68: // append
+							data := randData()
+							desc = fmt.Sprintf("%s append %s (%d bytes)", u, path, len(data))
+							gotErr = s.Append(path, data)
+							wantErr = model.Append(u, path, data)
+						case opn < 78: // chmod
+							var p types.Perm
+							if rng.Intn(2) == 0 {
+								p = pperm(filePerms)
+							} else {
+								p = pperm(dirPerms)
+							}
+							desc = fmt.Sprintf("%s chmod %s %s", u, path, p)
+							gotErr = s.Chmod(path, p)
+							wantErr = model.Chmod(u, path, p)
+						case opn < 84: // chown
+							newOwner := users[rng.Intn(len(users))]
+							groups := []types.GroupID{"eng", "qa", ""}
+							newGroup := groups[rng.Intn(len(groups))]
+							desc = fmt.Sprintf("%s chown %s %s:%s", u, path, newOwner, newGroup)
+							gotErr = s.Chown(path, newOwner, newGroup)
+							wantErr = model.Chown(u, path, newOwner, newGroup)
+						case opn < 88: // setacl / removeacl
+							target := users[rng.Intn(len(users))]
+							if rng.Intn(3) == 0 {
+								desc = fmt.Sprintf("%s removeacl %s %s", u, path, target)
+								gotErr = s.RemoveACL(path, target)
+								wantErr = model.RemoveACL(u, path, target)
+							} else {
+								rightsPool := []types.Triplet{
+									types.TripletRead,
+									types.TripletRead | types.TripletWrite,
+									types.TripletRead | types.TripletExec,
+									types.TripletRead | types.TripletWrite | types.TripletExec,
+									0,
+								}
+								rights := rightsPool[rng.Intn(len(rightsPool))]
+								desc = fmt.Sprintf("%s setacl %s %s=%s", u, path, target, rights)
+								gotErr = s.SetACL(path, target, rights)
+								wantErr = model.SetACL(u, path, target, rights)
+							}
+						case opn < 96: // remove
+							desc = fmt.Sprintf("%s remove %s", u, path)
+							gotErr = s.Remove(path)
+							wantErr = model.Remove(u, path)
+						default: // rename
+							dst := randPath()
+							desc = fmt.Sprintf("%s rename %s -> %s", u, path, dst)
+							gotErr = s.Rename(path, dst)
+							wantErr = model.Rename(u, path, dst)
 						}
-					case opn < 96: // remove
-						desc = fmt.Sprintf("%s remove %s", u, path)
-						gotErr = s.Remove(path)
-						wantErr = model.Remove(u, path)
-					default: // rename
-						dst := randPath()
-						desc = fmt.Sprintf("%s rename %s -> %s", u, path, dst)
-						gotErr = s.Rename(path, dst)
-						wantErr = model.Rename(u, path, dst)
+						if errClass(gotErr) != errClass(wantErr) {
+							t.Fatalf("step %d: %s:\n  sharoes: %v\n  model:   %v", step, desc, gotErr, wantErr)
+						}
 					}
-					if errClass(gotErr) != errClass(wantErr) {
-						t.Fatalf("step %d: %s:\n  sharoes: %v\n  model:   %v", step, desc, gotErr, wantErr)
-					}
-				}
-			})
+				})
+			}
 		}
 	}
 }

@@ -35,9 +35,22 @@ func (s *Session) resolveRef(path string) (ref, error) {
 		}
 		// Traversal requires exec on the directory — enforced
 		// cryptographically for non-owners (no DEK ⇒ no table), and as
-		// policy for owners, like a local filesystem.
+		// policy for owners, like a local filesystem. The check runs on
+		// every hop, cached ref or not, so a chmod on an ancestor (which
+		// invalidates only its ckMeta entry) takes effect immediately.
 		if !s.triplet(m.Attr).CanExec() {
 			return ref{}, types.ErrPermission
+		}
+		// A previously resolved hop skips the table lookup entirely.
+		// Entries are keyed by parent (inode, variant) and name, and are
+		// dropped whenever the parent's table changes (writeParentTables,
+		// invalidateObject) — the same machinery that invalidates
+		// ckView/ckWTable — so they can never outlive the row they came
+		// from.
+		rkey := refCacheKey(cur, comp)
+		if v, ok := s.cache.Get(rkey); ok {
+			cur = v.(ref)
+			continue
 		}
 		view, err := s.openViewOf(cur, m)
 		if err != nil {
@@ -53,15 +66,26 @@ func (s *Session) resolveRef(path string) (ref, error) {
 			}
 		}
 		if entry.Split {
+			// Split pointers are re-sealed out of band on revocation with
+			// no parent-table write to hook invalidation on, so split
+			// hops are deliberately not cached.
 			cur, err = s.resolveSplit(entry.Inode)
 			if err != nil {
 				return ref{}, err
 			}
 		} else {
 			cur = ref{ino: entry.Inode, variant: entry.Variant, mek: entry.MEK, mvk: entry.MVK}
+			s.cache.Put(rkey, cur, int64(len(comp))+96)
 		}
 	}
 	return cur, nil
+}
+
+// refCacheKey names a resolved directory entry in the session cache:
+// parent inode and variant (the view the entry row lives in) plus the
+// component name.
+func refCacheKey(parent ref, comp string) string {
+	return ckRef + "d/" + fmt.Sprintf("%d/%s|%s", uint64(parent.ino), parent.variant, comp)
 }
 
 // resolve walks to path and fetches the object's metadata.
@@ -193,6 +217,16 @@ func (s *Session) loadParentTables(r ref, m *meta.Metadata) (map[string]*meta.Di
 	}
 	names := tables[r.variant].Names()
 
+	// The remaining variants are independent of one another (each is the
+	// same directory sealed under a different CAP key), so they decrypt
+	// across a worker pool. One wall-clock stopwatch spans the whole
+	// parallel region: CRYPTO charges what the caller actually waited,
+	// not the sum of overlapping worker time.
+	type openJob struct {
+		id   string
+		blob []byte
+	}
+	var jobs []openJob
 	for _, pv := range variants {
 		if _, ok := tables[pv.ID]; ok {
 			continue
@@ -202,18 +236,31 @@ func (s *Session) loadParentTables(r ref, m *meta.Metadata) (map[string]*meta.Di
 			tables[pv.ID] = &meta.DirTable{}
 			continue
 		}
+		jobs = append(jobs, openJob{id: pv.ID, blob: blob})
+	}
+	if len(jobs) > 0 {
+		opened := make([]*meta.DirTable, len(jobs))
+		errs := make([]error, len(jobs))
 		stop := s.crypto("open-table")
-		view, err := cap.OpenView(pv.ID, cap.TableKey(m, pv.ID), m.Keys.DVK, r.ino, blob)
-		var tbl *meta.DirTable
-		if err == nil {
-			tbl, err = view.Reconstruct(names)
-		}
+		runParallel(len(jobs), func(i int) {
+			j := jobs[i]
+			view, err := cap.OpenView(j.id, cap.TableKey(m, j.id), m.Keys.DVK, r.ino, j.blob)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			opened[i], errs[i] = view.Reconstruct(names)
+		})
 		stop()
-		if err != nil {
-			return nil, err
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
 		}
-		tables[pv.ID] = tbl
-		s.cache.Put(ckWTable+meta.TableKey(r.ino, pv.ID), tbl.Clone(), tableSize(tbl))
+		for i, j := range jobs {
+			tables[j.id] = opened[i]
+			s.cache.Put(ckWTable+meta.TableKey(r.ino, j.id), opened[i].Clone(), tableSize(opened[i]))
+		}
 	}
 	return tables, nil
 }
@@ -229,22 +276,38 @@ func tableSize(t *meta.DirTable) int64 {
 // the new contents (write-through: within a session the client is the
 // only writer it is coherent with).
 func (s *Session) writeParentTables(r ref, m *meta.Metadata, tables map[string]*meta.DirTable) ([]wire.KV, error) {
-	kvs := make([]wire.KV, 0, len(tables))
-	stop := s.crypto("seal-table")
+	// Seal the per-variant views across the worker pool (the CRYPTO-side
+	// twin of loadParentTables' parallel open); kvs keep deterministic
+	// variant order. A single wall-clock stopwatch covers the region.
+	type sealJob struct {
+		id  string
+		cid cap.ID
+		tbl *meta.DirTable
+	}
+	var jobs []sealJob
 	for _, pv := range s.eng.Variants(m.Attr) {
 		tbl, ok := tables[pv.ID]
 		if !ok {
 			continue
 		}
-		blob, err := cap.SealTableView(tbl, m, pv.Cap, pv.ID)
-		if err != nil {
-			stop()
-			return nil, err
-		}
-		kvs = append(kvs, wire.KV{NS: wire.NSData, Key: meta.TableKey(r.ino, pv.ID), Val: blob})
+		jobs = append(jobs, sealJob{id: pv.ID, cid: pv.Cap, tbl: tbl})
 	}
+	sealed := make([][]byte, len(jobs))
+	errs := make([]error, len(jobs))
+	stop := s.crypto("seal-table")
+	runParallel(len(jobs), func(i int) {
+		sealed[i], errs[i] = cap.SealTableView(jobs[i].tbl, m, jobs[i].cid, jobs[i].id)
+	})
 	stop()
+	kvs := make([]wire.KV, 0, len(jobs))
+	for i, j := range jobs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		kvs = append(kvs, wire.KV{NS: wire.NSData, Key: meta.TableKey(r.ino, j.id), Val: sealed[i]})
+	}
 	s.cache.DeletePrefix(ckView + "t/" + fmt.Sprintf("%d/", uint64(r.ino)))
+	s.cache.DeletePrefix(ckRef + "d/" + fmt.Sprintf("%d/", uint64(r.ino)))
 	for id, tbl := range tables {
 		s.cache.Put(ckWTable+meta.TableKey(r.ino, id), tbl.Clone(), tableSize(tbl))
 	}

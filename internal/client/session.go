@@ -128,7 +128,10 @@ func Mount(cfg Config) (*Session, error) {
 		blockSize: bs,
 		lazy:      cfg.LazyRevocation,
 	}
-	if sc, ok := cfg.Store.(*ssp.Client); ok {
+	// Only attach a tracer the caller actually supplied: extra untraced
+	// sessions mounted over a shared client (the parallel workloads) must
+	// not clobber the tracer the first session installed.
+	if sc, ok := cfg.Store.(*ssp.Client); ok && cfg.Tracer != nil {
 		sc.Observe(cfg.Tracer)
 	}
 
@@ -279,6 +282,7 @@ const (
 	ckWTable   = "W|" // writer-side decoded per-variant tables
 	ckManifest = "F|"
 	ckBlock    = "B|"
+	ckRef      = "R|" // resolved directory-entry refs, keyed by parent inode
 )
 
 // fetchMeta retrieves and opens one metadata variant, via the cache.
@@ -348,11 +352,14 @@ func (s *Session) variantCap(attr meta.Attr, variant string) (cap.ID, error) {
 	return cap.ID{}, fmt.Errorf("client: unknown variant %q", variant)
 }
 
-// invalidateObject drops all cached state for an inode.
+// invalidateObject drops all cached state for an inode, including the
+// resolved refs of its directory entries (the inode may be a directory
+// whose table is about to change under it).
 func (s *Session) invalidateObject(ino types.Inode) {
 	s.cache.DeletePrefix(ckMeta + "m/" + fmt.Sprintf("%d/", uint64(ino)))
 	s.cache.DeletePrefix(ckView + "t/" + fmt.Sprintf("%d/", uint64(ino)))
 	s.cache.DeletePrefix(ckWTable + "t/" + fmt.Sprintf("%d/", uint64(ino)))
 	s.cache.DeletePrefix(ckManifest + "f/" + fmt.Sprintf("%d/", uint64(ino)))
 	s.cache.DeletePrefix(ckBlock + "f/" + fmt.Sprintf("%d/", uint64(ino)))
+	s.cache.DeletePrefix(ckRef + "d/" + fmt.Sprintf("%d/", uint64(ino)))
 }

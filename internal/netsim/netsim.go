@@ -3,8 +3,10 @@
 // The paper's evaluation ran the SSP in Atlanta and the client in
 // Birmingham, AL over a home DSL connection measured at 850 Kbit/s up and
 // 350 Kbit/s down. netsim reproduces that testbed as an in-memory
-// net.Conn pair shaped by per-direction serialization delay (token cost of
-// len*8/bps per write) plus one-way propagation latency. Absolute numbers
+// net.Conn pair shaped by per-direction serialization delay (a transmit
+// virtual clock advanced len*8/bps per write, so concurrent in-flight
+// frames share the link like a real FIFO serializer without blocking the
+// writer) plus one-way propagation latency. Absolute numbers
 // naturally differ from the 2008 hardware, but the dominance of network
 // time over crypto time — the property every figure in the paper rests
 // on — is preserved.
@@ -88,6 +90,18 @@ type pipeDir struct {
 	latency time.Duration
 	bps     int64
 
+	// vmu guards vclock, the transmit virtual clock: the instant the
+	// link's serializer is next free. Writes advance it by their modelled
+	// serialization time and stamp deliverAt from it instead of sleeping
+	// in line. Sleeping in write() would charge the whole serialization
+	// delay to whichever goroutine holds the connection's write path —
+	// with a coarse kernel tick every per-frame sleep rounds up to a full
+	// tick, so a pipelined connection's writer would serialize ~1 ms per
+	// frame that the model prices in microseconds. The reader alone
+	// sleeps, until deliverAt, where queued packets amortize the tick.
+	vmu    sync.Mutex
+	vclock time.Time
+
 	mu          sync.Mutex
 	writeClosed bool
 	closed      chan struct{} // closed when the writer side closes
@@ -122,12 +136,20 @@ func (d *pipeDir) write(b []byte) (int, error) {
 			seg = seg[:maxSegment]
 		}
 		b = b[len(seg):]
+		deliverAt := time.Now().Add(d.latency)
 		if d.bps > 0 {
-			time.Sleep(time.Duration(float64(len(seg)*8) / float64(d.bps) * float64(time.Second)))
+			ser := time.Duration(float64(len(seg)*8) / float64(d.bps) * float64(time.Second))
+			d.vmu.Lock()
+			if now := time.Now(); d.vclock.Before(now) {
+				d.vclock = now
+			}
+			d.vclock = d.vclock.Add(ser)
+			deliverAt = d.vclock.Add(d.latency)
+			d.vmu.Unlock()
 		}
 		data := make([]byte, len(seg))
 		copy(data, seg)
-		pkt := packet{data: data, deliverAt: time.Now().Add(d.latency)}
+		pkt := packet{data: data, deliverAt: deliverAt}
 		// Check for closure first: when both cases are ready, select
 		// picks randomly, and a write after close must fail.
 		select {

@@ -1,10 +1,13 @@
 package ssp
 
 import (
+	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"github.com/sharoes/sharoes/internal/obs"
 	"github.com/sharoes/sharoes/internal/stats"
@@ -15,71 +18,352 @@ import (
 // over net.Dial both satisfy it.
 type Dialer func() (net.Conn, error)
 
+// ErrShutdown is returned for calls issued against (or in flight on) a
+// closed client.
+var ErrShutdown = errors.New("ssp: client is shut down")
+
+// Call is one in-flight RPC issued through Client.Go. When the server
+// replies (or the transport fails), the call is delivered on Done.
+type Call struct {
+	Req  *wire.Request  // the request as sent (ReqID stamped by the client)
+	Resp *wire.Response // the reply; nil on transport error
+	Err  error          // transport error, if any (not remote status errors)
+	Done chan *Call     // receives the completed call; must be buffered
+
+	bytesOut int64
+	bytesIn  int64
+}
+
+// Response returns the reply, folding transport errors and non-OK remote
+// statuses into one error — the usual way to consume a completed Call.
+func (call *Call) Response() (*wire.Response, error) {
+	if call.Err != nil {
+		return nil, call.Err
+	}
+	if err := call.Resp.AsError(); err != nil {
+		return nil, err
+	}
+	return call.Resp, nil
+}
+
 // Client is a remote BlobStore speaking the wire protocol over a single
-// connection. All time spent on the wire is charged to the NETWORK
+// connection. Requests are pipelined, net/rpc style: a writer goroutine
+// drains a send queue, a reader goroutine matches replies to pending calls
+// by wire ReqID, and any number of goroutines may issue calls
+// concurrently — each waits only for its own reply, so independent calls
+// overlap their round trips instead of queueing behind one another.
+//
+// All time a call spends waiting on the wire is charged to the NETWORK
 // component of the attached recorder, which is how Figure 13's breakdown
 // is measured.
 type Client struct {
-	mu     sync.Mutex
-	codec  *wire.Codec
-	rec    *stats.Recorder
-	tracer *obs.Tracer
+	conn net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+	rec  *stats.Recorder
+
+	sendq chan *Call
+
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64]*Call // by ReqID
+	fifo    []uint64         // send order, for old servers that omit ReqID
+	closing bool             // Close started; new calls fail fast
+	stopErr error            // terminal transport error, sticky
+
+	readerDone chan struct{}
+	writerDone chan struct{}
+
+	// tracer and inflight are read on call paths without c.mu.
+	tracer   atomic.Pointer[obs.Tracer]
+	inflight atomic.Pointer[obs.Gauge]
 }
 
 var _ BlobStore = (*Client)(nil)
 
-// Dial connects to an SSP. rec may be nil.
-func Dial(dial Dialer, rec *stats.Recorder) (*Client, error) {
+// sendQueueDepth bounds the send queue; callers block (backpressure) once
+// this many requests await the writer goroutine.
+const sendQueueDepth = 64
+
+// Dial connects to an SSP. rec may be nil. An optional tracer may be
+// passed so even the first RPCs are traced (equivalent to calling Observe
+// before any call); the old Dial-then-Observe path keeps working.
+func Dial(dial Dialer, rec *stats.Recorder, tracer ...*obs.Tracer) (*Client, error) {
 	conn, err := dial()
 	if err != nil {
 		return nil, fmt.Errorf("ssp: dial: %w", err)
 	}
-	return &Client{codec: wire.NewCodec(conn), rec: rec}, nil
+	c := &Client{
+		conn:       conn,
+		bw:         bufio.NewWriterSize(conn, 32*1024),
+		br:         bufio.NewReaderSize(conn, 32*1024),
+		rec:        rec,
+		sendq:      make(chan *Call, sendQueueDepth),
+		pending:    make(map[uint64]*Call),
+		readerDone: make(chan struct{}),
+		writerDone: make(chan struct{}),
+	}
+	if len(tracer) > 0 {
+		c.tracer.Store(tracer[0])
+	}
+	go c.writeLoop()
+	go c.readLoop()
+	return c, nil
 }
 
 // Observe attaches a tracer (nil disables tracing). Each round trip then
 // emits an "rpc.<op>" span classed NETWORK, and the request frame carries
 // the current trace and span IDs so SSP-side spans join the same trace
 // (see wire.Request.TraceID).
-func (c *Client) Observe(tracer *obs.Tracer) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.tracer = tracer
+func (c *Client) Observe(tracer *obs.Tracer) { c.tracer.Store(tracer) }
+
+// ObserveMetrics attaches a metrics registry: the client then maintains an
+// "ssp.client.inflight" gauge counting calls issued but not yet completed.
+func (c *Client) ObserveMetrics(reg *obs.Registry) {
+	if reg == nil {
+		c.inflight.Store(nil)
+		return
+	}
+	c.inflight.Store(reg.Gauge("ssp.client.inflight"))
 }
 
-// Close closes the connection.
+// Close closes the connection. In-flight and queued calls complete with
+// ErrShutdown (or the reply, if it races ahead of the close).
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.codec.Close()
+	if c.closing {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closing = true
+	c.mu.Unlock()
+	err := c.conn.Close() // unblocks reader and writer
+	<-c.readerDone
+	<-c.writerDone
+	return err
 }
 
-// call performs one round trip, charging the wait to NETWORK. With a
-// tracer attached the round trip is also recorded as an "rpc.<op>" span,
-// and the frame carries the trace context so the SSP's handler span joins
-// the same trace.
-func (c *Client) call(req *wire.Request) (*wire.Response, error) {
+// Go issues an asynchronous call. The request must not be mutated until
+// the call completes; done must be buffered (a nil done allocates one).
+// The completed call is delivered on its Done channel.
+func (c *Client) Go(req *wire.Request, done chan *Call) *Call {
+	if done == nil {
+		done = make(chan *Call, 1)
+	} else if cap(done) == 0 {
+		panic("ssp: Go called with unbuffered done channel")
+	}
+	call := &Call{Req: req, Done: done}
+
+	c.mu.Lock()
+	if c.closing || c.stopErr != nil {
+		err := c.stopErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrShutdown
+		}
+		call.Err = err
+		call.Done <- call
+		return call
+	}
+	c.seq++
+	req.ReqID = c.seq
+	c.pending[req.ReqID] = call
+	c.mu.Unlock()
+
+	if g := c.inflight.Load(); g != nil {
+		g.Add(1)
+	}
+	select {
+	case c.sendq <- call:
+	case <-c.writerDone:
+		// The writer exited while we raced it; any call registered before
+		// termination was already failed, so this is usually a no-op.
+		c.failPending(req.ReqID)
+	}
+	return call
+}
+
+// writeLoop drains the send queue onto the wire. Encoding and the shaped
+// write happen here, off the callers' goroutines, so a caller's latency is
+// its own round trip, not the serialization of everyone else's.
+func (c *Client) writeLoop() {
+	defer close(c.writerDone)
+	for {
+		select {
+		case call := <-c.sendq:
+			// Record wire order for ReqID-less reply matching. Skip calls
+			// a concurrent terminate already failed: their frames are
+			// never answered, so they must not occupy a FIFO slot.
+			c.mu.Lock()
+			if _, ok := c.pending[call.Req.ReqID]; !ok {
+				c.mu.Unlock()
+				continue
+			}
+			c.fifo = append(c.fifo, call.Req.ReqID)
+			c.mu.Unlock()
+			payload := call.Req.Encode()
+			n, err := wire.WriteFrame(c.bw, payload)
+			if err == nil {
+				err = c.bw.Flush()
+			}
+			if err != nil {
+				// A write failure is terminal for the connection: fail
+				// this call and everything pending, then drain the queue
+				// so blocked senders unstick.
+				c.terminate(fmt.Errorf("ssp: write: %w", err))
+				continue
+			}
+			atomic.StoreInt64(&call.bytesOut, int64(n))
+		case <-c.readerDone:
+			// Reader hit a terminal error (or Close); drain stragglers
+			// that raced past the closing check until the queue is empty
+			// and no more can arrive.
+			c.drainQueue()
+			return
+		}
+	}
+}
+
+// drainQueue fails queued sends after shutdown/termination.
+func (c *Client) drainQueue() {
+	for {
+		select {
+		case call := <-c.sendq:
+			c.failPending(call.Req.ReqID)
+		default:
+			return
+		}
+	}
+}
+
+// readLoop matches reply frames to pending calls. Replies carry the
+// request's ReqID; a zero ReqID (an old, pre-multiplexing server) is
+// matched to the oldest in-flight call, which is correct because such a
+// server processes requests strictly in order.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	for {
+		payload, n, err := wire.ReadFrame(c.br)
+		if err != nil {
+			c.terminate(fmt.Errorf("ssp: read: %w", err))
+			return
+		}
+		resp, err := wire.DecodeResponse(payload)
+		if err != nil {
+			c.terminate(fmt.Errorf("ssp: read: %w", err))
+			return
+		}
+		call := c.take(resp.ReqID)
+		if call == nil {
+			// Unsolicited reply: nothing sane to pair it with.
+			c.terminate(fmt.Errorf("ssp: read: %w: unsolicited reply (req %d)", wire.ErrBadMessage, resp.ReqID))
+			return
+		}
+		call.Resp = resp
+		call.bytesIn = int64(n)
+		c.deliver(call)
+	}
+}
+
+// take removes and returns the pending call for id (oldest if id is 0).
+func (c *Client) take(id uint64) *Call {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	sp := c.tracer.Start("rpc."+req.Op.String(), obs.ClassNetwork)
-	if tid, sid := c.tracer.Current(); tid != 0 {
+	if id == 0 {
+		if len(c.fifo) == 0 {
+			return nil
+		}
+		id = c.fifo[0]
+	}
+	call, ok := c.pending[id]
+	if !ok {
+		return nil
+	}
+	delete(c.pending, id)
+	for i, v := range c.fifo {
+		if v == id {
+			c.fifo = append(c.fifo[:i], c.fifo[i+1:]...)
+			break
+		}
+	}
+	return call
+}
+
+// failPending completes the pending call id with the sticky stop error.
+func (c *Client) failPending(id uint64) {
+	call := c.take(id)
+	if call == nil {
+		return
+	}
+	c.mu.Lock()
+	err := c.stopErr
+	closing := c.closing
+	c.mu.Unlock()
+	if closing || err == nil {
+		err = ErrShutdown
+	}
+	call.Err = err
+	c.deliver(call)
+}
+
+// terminate marks the transport broken and fails every pending call.
+func (c *Client) terminate(err error) {
+	c.mu.Lock()
+	if c.stopErr == nil {
+		c.stopErr = err
+	}
+	if c.closing {
+		// Close() is tearing the client down; report shutdown, not the
+		// read/write error its conn.Close provoked.
+		c.stopErr = ErrShutdown
+	}
+	err = c.stopErr
+	calls := make([]*Call, 0, len(c.pending))
+	for id, call := range c.pending {
+		delete(c.pending, id)
+		calls = append(calls, call)
+	}
+	c.fifo = c.fifo[:0]
+	c.mu.Unlock()
+	for _, call := range calls {
+		call.Err = err
+		c.deliver(call)
+	}
+}
+
+// deliver completes a call.
+func (c *Client) deliver(call *Call) {
+	if g := c.inflight.Load(); g != nil {
+		g.Add(-1)
+	}
+	call.Done <- call
+}
+
+// call performs one synchronous round trip, charging the wait to NETWORK.
+// With a tracer attached the round trip is also recorded as an
+// "rpc.<op>" span, and the frame carries the trace context so the SSP's
+// handler span joins the same trace.
+func (c *Client) call(req *wire.Request) (*wire.Response, error) {
+	tracer := c.tracer.Load()
+	sp := tracer.Start("rpc."+req.Op.String(), obs.ClassNetwork)
+	if tid, sid := tracer.Current(); tid != 0 {
 		req.TraceID, req.SpanID = uint64(tid), uint64(sid)
 	}
-	outBefore, inBefore := c.codec.BytesOut, c.codec.BytesIn
 	stop := c.rec.Time(stats.Network)
-	resp, err := c.codec.Call(req)
+	call := c.Go(req, make(chan *Call, 1))
+	<-call.Done
 	stop()
-	out, in := c.codec.BytesOut-outBefore, c.codec.BytesIn-inBefore
+	out, in := atomic.LoadInt64(&call.bytesOut), call.bytesIn
 	c.rec.AddBytes(int(out), int(in))
 	if sp != nil { // skip the strconv work when untraced
 		sp.Annotate("bytes_out", strconv.FormatInt(out, 10))
 		sp.Annotate("bytes_in", strconv.FormatInt(in, 10))
 		sp.End()
 	}
-	if err != nil {
-		return nil, fmt.Errorf("ssp: %s: %w", req.Op, err)
+	if call.Err != nil {
+		return nil, fmt.Errorf("ssp: %s: %w", req.Op, call.Err)
 	}
-	return resp, nil
+	return call.Resp, nil
 }
 
 // Ping checks liveness.

@@ -34,11 +34,16 @@ type Server struct {
 }
 
 // connEntry tracks one connection's handler state for graceful drain:
-// busy is true while a request is being processed, false while the
-// handler is parked waiting for the next frame.
+// inflight counts requests read off the wire whose responses have not yet
+// been written; zero means the handler is parked waiting for the next
+// frame (or between reads) with nothing outstanding.
 type connEntry struct {
-	busy atomic.Bool
+	inflight atomic.Int64
 }
+
+// maxConnConcurrency bounds concurrent dispatch per connection for
+// multiplexed (nonzero-ReqID) requests.
+const maxConnConcurrency = 32
 
 // NewServer creates a server over store. logger may be nil to disable
 // logging.
@@ -158,7 +163,7 @@ func (s *Server) Shutdown(grace time.Duration) error {
 			// busy between the check and the close just drops one
 			// not-yet-processed request — never one in flight.
 			c.SetReadDeadline(time.Now())
-			if !e.busy.Load() {
+			if e.inflight.Load() == 0 {
 				c.Close()
 			}
 		}
@@ -184,43 +189,75 @@ func (s *Server) isDraining() bool {
 
 func (s *Server) handle(conn net.Conn, entry *connEntry) {
 	defer s.wg.Done()
+	// wmu serializes response writes: dispatch is concurrent for
+	// multiplexed requests, but each response frame goes out whole.
+	var wmu sync.Mutex
+	var workers sync.WaitGroup
+	sem := make(chan struct{}, maxConnConcurrency)
+	codec := wire.NewCodec(conn)
 	defer func() {
+		// Let in-flight workers write their responses before the conn
+		// goes down, then flush the byte counters (single-threaded again
+		// once workers are done and the read loop has exited).
+		workers.Wait()
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
-	}()
-	s.reg.Gauge("ssp.conns").Add(1)
-	defer s.reg.Gauge("ssp.conns").Add(-1)
-	codec := wire.NewCodec(conn)
-	defer func() {
 		s.reg.Counter("ssp.bytes_in").Add(codec.BytesIn)
 		s.reg.Counter("ssp.bytes_out").Add(codec.BytesOut)
 	}()
+	s.reg.Gauge("ssp.conns").Add(1)
+	defer s.reg.Gauge("ssp.conns").Add(-1)
 	for {
-		entry.busy.Store(false)
 		req, err := codec.ReadRequest()
-		entry.busy.Store(true)
 		if err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !s.isDraining() {
 				s.log.Printf("ssp: read request: %v", err)
 			}
 			return
 		}
-		opName := req.Op.String()
-		sp := s.tracer.StartRemote(obs.TraceID(req.TraceID), obs.SpanID(req.SpanID), "ssp."+opName, obs.ClassNone)
-		start := time.Now()
-		resp := s.apply(req)
-		s.reg.Histogram("ssp.op." + opName + ".ns").Observe(time.Since(start))
-		s.reg.Counter("ssp.op." + opName).Inc()
-		sp.End()
-		if err := codec.SendResponse(resp); err != nil {
-			s.log.Printf("ssp: send response: %v", err)
-			return
+		entry.inflight.Add(1)
+		if req.ReqID == 0 {
+			// Unmultiplexed (pre-ReqID) client: requests are processed
+			// strictly in order, one at a time, exactly as before. Wait
+			// out any multiplexed stragglers so replies stay ordered even
+			// for a peer that mixes both styles.
+			workers.Wait()
+			s.dispatch(codec, &wmu, entry, req)
+		} else {
+			sem <- struct{}{}
+			workers.Add(1)
+			go func(req *wire.Request) {
+				defer func() { workers.Done(); <-sem }()
+				s.dispatch(codec, &wmu, entry, req)
+			}(req)
 		}
 		if s.isDraining() {
 			return
 		}
+	}
+}
+
+// dispatch executes one request and writes its response, echoing the
+// request's ReqID so pipelined clients can match out-of-order replies.
+func (s *Server) dispatch(codec *wire.Codec, wmu *sync.Mutex, entry *connEntry, req *wire.Request) {
+	defer entry.inflight.Add(-1)
+	s.reg.Gauge("ssp.inflight").Add(1)
+	defer s.reg.Gauge("ssp.inflight").Add(-1)
+	opName := req.Op.String()
+	sp := s.tracer.StartRemote(obs.TraceID(req.TraceID), obs.SpanID(req.SpanID), "ssp."+opName, obs.ClassNone)
+	start := time.Now()
+	resp := s.apply(req)
+	resp.ReqID = req.ReqID
+	s.reg.Histogram("ssp.op." + opName + ".ns").Observe(time.Since(start))
+	s.reg.Counter("ssp.op." + opName).Inc()
+	sp.End()
+	wmu.Lock()
+	err := codec.SendResponse(resp)
+	wmu.Unlock()
+	if err != nil && !s.isDraining() {
+		s.log.Printf("ssp: send response: %v", err)
 	}
 }
 

@@ -69,7 +69,7 @@ func oldDecodeRequest(b []byte) (*Request, error) {
 // encoder must decode under the current codec as untraced requests.
 func TestOldFramesDecodeUnderNewCodec(t *testing.T) {
 	for _, q := range seedRequests() {
-		q.TraceID, q.SpanID = 0, 0 // the old codec cannot express a trace
+		q.TraceID, q.SpanID, q.ReqID = 0, 0, 0 // the old codec cannot express these
 		old := oldEncodeRequest(q)
 		got, err := DecodeRequest(old)
 		if err != nil {
@@ -97,7 +97,7 @@ func TestNewFramesDecodeUnderOldCodec(t *testing.T) {
 			t.Fatalf("traced frame for %v rejected by old codec: %v", q.Op, err)
 		}
 		want := *q
-		want.TraceID, want.SpanID = 0, 0
+		want.TraceID, want.SpanID, want.ReqID = 0, 0, 0
 		if !reflect.DeepEqual(normalizeReq(&want), normalizeReq(got)) {
 			t.Fatalf("old codec misread traced frame:\n  %+v\n  %+v", want, got)
 		}
@@ -109,7 +109,7 @@ func TestNewFramesDecodeUnderOldCodec(t *testing.T) {
 // wire sizes are unchanged when tracing is off.
 func TestUntracedFramesAreByteIdentical(t *testing.T) {
 	for _, q := range seedRequests() {
-		q.TraceID, q.SpanID = 0, 0
+		q.TraceID, q.SpanID, q.ReqID = 0, 0, 0
 		if !bytes.Equal(q.Encode(), oldEncodeRequest(q)) {
 			t.Fatalf("untraced encoding of %v differs from pre-extension bytes", q.Op)
 		}
@@ -155,6 +155,163 @@ func TestMalformedTraceTailIgnored(t *testing.T) {
 		}
 		if got.TraceID != 0 {
 			t.Fatalf("%s: trace id %d from malformed tail", name, got.TraceID)
+		}
+	}
+}
+
+// --- multiplexing (ReqID) extension compatibility --------------------------
+
+// oldEncodeResponse replicates the pre-ReqID response encoder byte for
+// byte: status, err, val, items — and nothing after.
+func oldEncodeResponse(p *Response) []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(byte(p.Status))
+	putString(&buf, p.Err)
+	putBytes(&buf, p.Val)
+	putUvarint(&buf, uint64(len(p.Items)))
+	for _, kv := range p.Items {
+		encodeKV(&buf, kv)
+	}
+	return buf.Bytes()
+}
+
+// oldDecodeResponse replicates the pre-ReqID response decoder, which
+// ignored any bytes after the item list.
+func oldDecodeResponse(b []byte) (*Response, error) {
+	r := &reader{b: b}
+	var p Response
+	st, err := r.byteVal()
+	if err != nil {
+		return nil, err
+	}
+	p.Status = Status(st)
+	if p.Err, err = r.str(); err != nil {
+		return nil, err
+	}
+	val, err := r.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(val) > 0 {
+		p.Val = append([]byte(nil), val...)
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		kv, err := decodeKV(r)
+		if err != nil {
+			return nil, err
+		}
+		p.Items = append(p.Items, kv)
+	}
+	return &p, nil // trailing bytes ignored
+}
+
+// TestReqIDRoundTrip: every traced × multiplexed combination survives the
+// current encode/decode pair with all three IDs intact.
+func TestReqIDRoundTrip(t *testing.T) {
+	cases := []struct {
+		name          string
+		tid, sid, rid uint64
+	}{
+		{"mux only", 0, 0, 5},
+		{"traced mux", 7, 9, 5},
+		{"neither", 0, 0, 0},
+		{"traced only", 7, 9, 0},
+		{"varint boundary", 1<<64 - 1, 1 << 63, 1<<64 - 1},
+	}
+	for _, tc := range cases {
+		q := &Request{Op: OpGet, NS: NSMeta, Key: "m/1/o", TraceID: tc.tid, SpanID: tc.sid, ReqID: tc.rid}
+		got, err := DecodeRequest(q.Encode())
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got.TraceID != tc.tid || got.SpanID != tc.sid || got.ReqID != tc.rid {
+			t.Fatalf("%s: decoded %d/%d/%d, want %d/%d/%d", tc.name,
+				got.TraceID, got.SpanID, got.ReqID, tc.tid, tc.sid, tc.rid)
+		}
+	}
+	for _, rid := range []uint64{0, 5, 1<<64 - 1} {
+		p := &Response{Status: StatusOK, Val: []byte("v"), ReqID: rid}
+		got, err := DecodeResponse(p.Encode())
+		if err != nil {
+			t.Fatalf("resp rid=%d: %v", rid, err)
+		}
+		if got.ReqID != rid {
+			t.Fatalf("resp decoded rid %d, want %d", got.ReqID, rid)
+		}
+	}
+}
+
+// TestUnmultiplexedResponsesAreByteIdentical: with ReqID zero the new
+// response encoder must produce exactly the pre-extension wire bytes.
+func TestUnmultiplexedResponsesAreByteIdentical(t *testing.T) {
+	for _, p := range seedResponses() {
+		p.ReqID = 0
+		if !bytes.Equal(p.Encode(), oldEncodeResponse(p)) {
+			t.Fatalf("unmultiplexed encoding of status %d differs from pre-extension bytes", p.Status)
+		}
+	}
+}
+
+// TestMuxFramesInteropWithOldCodec: multiplexed frames (requests and
+// responses) must decode under the old codec, which sees the ReqID as
+// ignorable trailing bytes; and old frames must decode under the new
+// codec with ReqID zero.
+func TestMuxFramesInteropWithOldCodec(t *testing.T) {
+	for _, q := range seedRequests() {
+		q.ReqID = 99
+		got, err := oldDecodeRequest(q.Encode())
+		if err != nil {
+			t.Fatalf("mux frame for %v rejected by old codec: %v", q.Op, err)
+		}
+		want := *q
+		want.TraceID, want.SpanID, want.ReqID = 0, 0, 0
+		if !reflect.DeepEqual(normalizeReq(&want), normalizeReq(got)) {
+			t.Fatalf("old codec misread mux frame:\n  %+v\n  %+v", want, got)
+		}
+	}
+	for _, p := range seedResponses() {
+		p.ReqID = 99
+		got, err := oldDecodeResponse(p.Encode())
+		if err != nil {
+			t.Fatalf("mux response rejected by old codec: %v", err)
+		}
+		want := *p
+		want.ReqID = 0
+		if !reflect.DeepEqual(normalizeResp(&want), normalizeResp(got)) {
+			t.Fatalf("old codec misread mux response:\n  %+v\n  %+v", want, got)
+		}
+		// And the reverse direction: a pre-extension frame decodes under
+		// the current codec as unmultiplexed.
+		want.ReqID = 0
+		got2, err := DecodeResponse(oldEncodeResponse(&want))
+		if err != nil {
+			t.Fatalf("old response rejected by new codec: %v", err)
+		}
+		if got2.ReqID != 0 {
+			t.Fatalf("old response decoded with req id %d", got2.ReqID)
+		}
+	}
+}
+
+// TestMalformedReqIDTailIgnored: a garbled response tail downgrades to
+// "unmultiplexed" instead of rejecting the frame.
+func TestMalformedReqIDTailIgnored(t *testing.T) {
+	base := oldEncodeResponse(&Response{Status: StatusOK, Val: []byte("v")})
+	cases := map[string][]byte{
+		"half varint": append(append([]byte(nil), base...), 0x80),
+		"overlong":    append(append([]byte(nil), base...), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F),
+	}
+	for name, b := range cases {
+		got, err := DecodeResponse(b)
+		if err != nil {
+			t.Fatalf("%s: rejected: %v", name, err)
+		}
+		if got.ReqID != 0 {
+			t.Fatalf("%s: req id %d from malformed tail", name, got.ReqID)
 		}
 	}
 }

@@ -25,6 +25,10 @@ func seedRequests() []*Request {
 		// Trace-extension frame: nonzero TraceID appends the optional
 		// trailing TraceID/SpanID uvarints (see Request.TraceID).
 		{Op: OpGet, NS: NSMeta, Key: "m/1/u/alice", TraceID: 7, SpanID: 9},
+		// Multiplexing-extension frames (see Request.ReqID): traced and
+		// untraced, the latter carrying the explicit zero TraceID.
+		{Op: OpGet, NS: NSMeta, Key: "m/1/u/alice", TraceID: 7, SpanID: 9, ReqID: 3},
+		{Op: OpPut, NS: NSData, Key: "f/9/0/3", Val: []byte("sealed-bytes"), ReqID: 1<<64 - 1},
 	}
 }
 
@@ -36,6 +40,9 @@ func seedResponses() []*Response {
 		{Status: StatusBadRequest, Err: "unknown op"},
 		{Status: StatusError, Err: "disk full"},
 		{Status: StatusOK, Items: []KV{{NS: NSData, Key: "k", Val: []byte("v")}}},
+		// Multiplexing-extension frames (see Response.ReqID).
+		{Status: StatusOK, Val: []byte("blob"), ReqID: 3},
+		{Status: StatusNotFound, ReqID: 1<<64 - 1},
 	}
 }
 

@@ -120,6 +120,18 @@ type Request struct {
 	// meaningful only alongside a nonzero TraceID.
 	TraceID uint64
 	SpanID  uint64
+
+	// ReqID multiplexes concurrent requests over one connection: a
+	// pipelined client tags each request with a nonzero ReqID and the
+	// server echoes it in the matching Response, so replies can complete
+	// out of order. Zero means unmultiplexed (the pre-extension serial
+	// protocol, where replies are matched by arrival order). Encoded as
+	// a further trailing uvarint after the trace extension; when the
+	// request is untraced but multiplexed, an explicit zero TraceID is
+	// written first so the tail stays self-describing. Old decoders
+	// ignore the extra bytes; frames with TraceID == 0 and ReqID == 0
+	// remain byte-identical to the original format.
+	ReqID uint64
 }
 
 // Status is a response status code.
@@ -139,6 +151,13 @@ type Response struct {
 	Err    string
 	Val    []byte
 	Items  []KV // list / batch-get results; absent batch-get keys are omitted
+
+	// ReqID echoes the request's ReqID so a pipelined client can match
+	// out-of-order replies (see Request.ReqID). Encoded as an optional
+	// trailing uvarint: zero is omitted, keeping unmultiplexed frames
+	// byte-identical to the pre-extension format, and decoders treat a
+	// missing or malformed tail as zero.
+	ReqID uint64
 }
 
 // Protocol errors.
@@ -261,11 +280,18 @@ func (q *Request) Encode() []byte {
 	for _, kv := range q.Items {
 		encodeKV(&buf, kv)
 	}
-	// Optional trace extension (see Request.TraceID). Untraced requests
-	// stay byte-identical to the pre-extension encoding.
+	// Optional trailing extensions (see Request.TraceID and
+	// Request.ReqID). Untraced, unmultiplexed requests stay
+	// byte-identical to the pre-extension encoding.
 	if q.TraceID != 0 {
 		putUvarint(&buf, q.TraceID)
 		putUvarint(&buf, q.SpanID)
+		if q.ReqID != 0 {
+			putUvarint(&buf, q.ReqID)
+		}
+	} else if q.ReqID != 0 {
+		putUvarint(&buf, 0) // explicit "untraced" so the tail stays ordered
+		putUvarint(&buf, q.ReqID)
 	}
 	return buf.Bytes()
 }
@@ -311,16 +337,23 @@ func DecodeRequest(b []byte) (*Request, error) {
 		}
 		q.Items = append(q.Items, kv)
 	}
-	// Trace extension: pre-extension frames end here; a well-formed
-	// tail carries TraceID then SpanID. Anything else — including
-	// trailing garbage old decoders also ignored — is treated as
-	// untraced rather than rejected, keeping acceptance identical
-	// across codec versions.
+	// Trailing extensions: pre-extension frames end here; a well-formed
+	// tail carries TraceID (then SpanID when traced) then optionally
+	// ReqID. Anything else — including trailing garbage old decoders
+	// also ignored — degrades to the zero values rather than being
+	// rejected, keeping acceptance identical across codec versions.
 	if len(r.b) > 0 {
-		if tid, err := r.uvarint(); err == nil && tid != 0 {
-			if sid, err := r.uvarint(); err == nil {
-				q.TraceID = tid
-				q.SpanID = sid
+		if tid, err := r.uvarint(); err == nil {
+			if tid != 0 {
+				if sid, err := r.uvarint(); err == nil {
+					q.TraceID = tid
+					q.SpanID = sid
+				} else {
+					return &q, nil // trace truncated: untraced, no ReqID
+				}
+			}
+			if rid, err := r.uvarint(); err == nil {
+				q.ReqID = rid
 			}
 		}
 	}
@@ -336,6 +369,11 @@ func (p *Response) Encode() []byte {
 	putUvarint(&buf, uint64(len(p.Items)))
 	for _, kv := range p.Items {
 		encodeKV(&buf, kv)
+	}
+	// Optional multiplexing extension (see Response.ReqID). Unmultiplexed
+	// responses stay byte-identical to the pre-extension encoding.
+	if p.ReqID != 0 {
+		putUvarint(&buf, p.ReqID)
 	}
 	return buf.Bytes()
 }
@@ -372,6 +410,14 @@ func DecodeResponse(b []byte) (*Response, error) {
 			return nil, fmt.Errorf("%w: item %d: %v", ErrBadMessage, i, err)
 		}
 		p.Items = append(p.Items, kv)
+	}
+	// Multiplexing extension: pre-extension frames end here; a
+	// well-formed tail is a single ReqID uvarint. A malformed tail
+	// degrades to zero (unmultiplexed) rather than being rejected.
+	if len(r.b) > 0 {
+		if rid, err := r.uvarint(); err == nil {
+			p.ReqID = rid
+		}
 	}
 	return &p, nil
 }

@@ -8,6 +8,11 @@ import (
 	"github.com/sharoes/sharoes/internal/stats"
 )
 
+// metadataSpineBytes is the per-session cache allowance for the shared
+// metadata hot set (superblock, root and directory tables) every session
+// re-caches privately; see the parallel split in RunFig10.
+const metadataSpineBytes = 16 << 10
+
 // FigureOptions configures one figure regeneration.
 type FigureOptions struct {
 	Options
@@ -44,7 +49,7 @@ func RunFig9(opts FigureOptions) ([]Fig9Row, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fig9 %v: %w", kind, err)
 			}
-			res, err := CreateList(sys.FS, sys.Rec, cfg)
+			res, err := CreateListN(sys, cfg, opts.Parallel)
 			sys.Close()
 			if err != nil {
 				return nil, fmt.Errorf("fig9 %v: %w", kind, err)
@@ -103,11 +108,21 @@ func RunFig10(opts FigureOptions, cachePcts []int) ([]Fig10Row, error) {
 			// The budget covers data plus decrypted-metadata overhead;
 			// 100% means the working set fits entirely.
 			o.CacheBytes = int64(float64(dataSet) * float64(pct) / 100.0 * 1.5)
+			if o.Parallel > 1 && o.CacheBytes > 0 {
+				// Each parallel session gets an equal slice of the data
+				// budget, plus a fixed allowance for the metadata spine
+				// (superblock, root and directory tables) that every
+				// session must hold privately. Dividing that fixed hot
+				// set N ways would leave small budgets entirely
+				// spine-bound and measure cache starvation rather than
+				// transport behavior.
+				o.CacheBytes = o.CacheBytes/int64(o.Parallel) + metadataSpineBytes
+			}
 			sys, err := Build(kind, o)
 			if err != nil {
 				return nil, fmt.Errorf("fig10 %v/%d%%: %w", kind, pct, err)
 			}
-			res, err := Postmark(sys.FS, cfg)
+			res, err := PostmarkN(sys, cfg, o.Parallel)
 			snap := sys.Rec.Snapshot()
 			sys.Close()
 			if err != nil {

@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/sharoes/sharoes/internal/obs"
+	"github.com/sharoes/sharoes/internal/ssp"
+	"github.com/sharoes/sharoes/internal/vfs"
+)
+
+// The parallel drivers run the Create-and-List and Postmark workloads
+// across N sessions sharing one pipelined SSP connection — the load shape
+// the multiplexed transport exists for. Work is sharded by directory so no
+// two sessions ever write the same parent table (the client has no
+// cross-session write coherence); reads of shared ancestors are safe.
+
+// barrier flushes a write-behind store so buffered puts land inside the
+// phase that issued them; a bare connection has nothing to flush.
+func barrier(store ssp.BlobStore) error {
+	if f, ok := store.(ssp.Flusher); ok {
+		return f.Barrier()
+	}
+	return nil
+}
+
+// mountSessions returns workers filesystems over the system's shared
+// store: the system's own session first, then freshly mounted extras.
+// Mounting happens before any timer starts.
+func mountSessions(sys *System, workers int) ([]vfs.FS, error) {
+	sessions := make([]vfs.FS, workers)
+	sessions[0] = sys.FS
+	for w := 1; w < workers; w++ {
+		fs, err := sys.NewSession()
+		if err != nil {
+			return nil, fmt.Errorf("parallel session %d: %w", w, err)
+		}
+		sessions[w] = fs
+	}
+	return sessions, nil
+}
+
+// CreateListN runs Create-and-List across workers concurrent sessions.
+// workers <= 1 delegates to the serial benchmark unchanged. In the create
+// phase directory d is owned by worker d%workers (creates rewrite the
+// parent table, which only one session may touch); in the list phase
+// per-file stats shard round-robin across every worker, because stats
+// only read directory tables and need no ownership.
+func CreateListN(sys *System, cfg CreateListConfig, workers int) (CreateListResult, error) {
+	if workers <= 1 {
+		return CreateList(sys.FS, sys.Rec, cfg)
+	}
+	var res CreateListResult
+	sessions, err := mountSessions(sys, workers)
+	if err != nil {
+		return res, fmt.Errorf("createlist: %w", err)
+	}
+
+	// --- create phase ---
+	before := sys.Rec.Snapshot()
+	start := time.Now()
+	// The directory skeleton is serial: every mkdir under /bench writes
+	// /bench's own table, which only one session may touch.
+	if err := sessions[0].Mkdir("/bench", 0o755); err != nil {
+		return res, fmt.Errorf("createlist: %w", err)
+	}
+	for d := 0; d < cfg.Dirs; d++ {
+		if err := sessions[0].Mkdir(dirPath(d), 0o755); err != nil {
+			return res, fmt.Errorf("createlist: %w", err)
+		}
+	}
+	createHist := new(obs.Histogram)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fs := sessions[w]
+			for f := 0; f < cfg.Files; f++ {
+				if (f%cfg.Dirs)%workers != w {
+					continue
+				}
+				t := time.Now()
+				if err := fs.Create(filePath(f%cfg.Dirs, f), 0o644); err != nil {
+					errs[w] = err
+					return
+				}
+				createHist.Observe(time.Since(t))
+			}
+		}(w)
+	}
+	wg.Wait()
+	// The create phase owns its buffered writes: flush before the timer
+	// stops so write-behind cost is not smeared into the list phase.
+	if err := barrier(sys.Store); err != nil {
+		return res, fmt.Errorf("createlist flush: %w", err)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return res, fmt.Errorf("createlist: %w", err)
+		}
+	}
+	res.Create = time.Since(start)
+	res.CreateLat = createHist.Snapshot()
+	mid := sys.Rec.Snapshot()
+	res.CreateStats = mid.Sub(before)
+
+	// --- list phase: ls -lR, cold ---
+	for _, fs := range sessions {
+		fs.Refresh()
+	}
+	listHist := new(obs.Histogram)
+	start = time.Now()
+	if _, err := sessions[0].Stat("/bench"); err != nil {
+		return res, fmt.Errorf("createlist list: %w", err)
+	}
+	names, err := sessions[0].ReadDir("/bench")
+	if err != nil {
+		return res, fmt.Errorf("createlist list: %w", err)
+	}
+	// The recursive walk shards by directory: worker w owns directory
+	// i%workers == w and performs its whole subtree — stat, readdir, then
+	// a stat per file. Directory affinity keeps each cold session's
+	// resolve traffic to its own subtrees instead of every session
+	// re-fetching every directory's tables; it needs Dirs >= workers to
+	// use all workers (the committed artifacts run a configuration wide
+	// enough for that).
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fs := sessions[w]
+			for i, dn := range names {
+				if i%workers != w {
+					continue
+				}
+				dp := "/bench/" + dn
+				if _, err := fs.Stat(dp); err != nil {
+					errs[w] = err
+					return
+				}
+				files, err := fs.ReadDir(dp)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				for _, fn := range files {
+					t := time.Now()
+					if _, err := fs.Stat(dp + "/" + fn); err != nil {
+						errs[w] = err
+						return
+					}
+					listHist.Observe(time.Since(t))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return res, fmt.Errorf("createlist list: %w", err)
+		}
+	}
+	res.List = time.Since(start)
+	res.ListStats = sys.Rec.Snapshot().Sub(mid)
+	res.ListLat = listHist.Snapshot()
+	return res, nil
+}
+
+// PostmarkN runs Postmark across workers concurrent sessions, each driving
+// its own file pool under a private root with the per-worker share of the
+// file and transaction budget. workers <= 1 delegates to the serial
+// benchmark unchanged.
+func PostmarkN(sys *System, cfg PostmarkConfig, workers int) (PostmarkResult, error) {
+	if workers <= 1 {
+		return Postmark(sys.FS, cfg)
+	}
+	var res PostmarkResult
+	sessions, err := mountSessions(sys, workers)
+	if err != nil {
+		return res, fmt.Errorf("postmark: %w", err)
+	}
+
+	start := time.Now()
+	// Worker roots are created serially by one session: they all live in
+	// /postmark's table.
+	if err := sessions[0].Mkdir("/postmark", 0o755); err != nil {
+		return res, fmt.Errorf("postmark: %w", err)
+	}
+	for w := 0; w < workers; w++ {
+		if err := sessions[0].Mkdir(fmt.Sprintf("/postmark/w%02d", w), 0o755); err != nil {
+			return res, fmt.Errorf("postmark: %w", err)
+		}
+	}
+	txHist := new(obs.Histogram)
+	counts := make([]int, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wcfg := cfg
+		wcfg.Files = cfg.Files / workers
+		if wcfg.Files < 4 {
+			wcfg.Files = 4
+		}
+		wcfg.Transactions = cfg.Transactions / workers
+		wcfg.Subdirs = cfg.Subdirs / workers
+		// Each worker derives its own stream from the run seed; a shared
+		// injected RNG would race.
+		wcfg.Seed = cfg.Seed + int64(w)*7919
+		wcfg.RNG = nil
+		wg.Add(1)
+		go func(w int, wcfg PostmarkConfig) {
+			defer wg.Done()
+			counts[w], errs[w] = postmarkRun(sessions[w], wcfg, fmt.Sprintf("/postmark/w%02d", w), txHist)
+		}(w, wcfg)
+	}
+	wg.Wait()
+	if err := barrier(sys.Store); err != nil {
+		return res, fmt.Errorf("postmark flush: %w", err)
+	}
+	for w, err := range errs {
+		if err != nil {
+			return res, fmt.Errorf("postmark worker %d: %w", w, err)
+		}
+		res.Transactions += counts[w]
+	}
+	res.Total = time.Since(start)
+	res.TxLat = txHist.Snapshot()
+	return res, nil
+}

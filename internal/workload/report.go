@@ -49,8 +49,14 @@ type BenchReport struct {
 	// Scale divides the paper's workload sizes (1 = full paper scale).
 	Scale int `json:"scale"`
 	// Scheme is the Sharoes metadata layout under test.
-	Scheme string     `json:"scheme"`
-	Rows   []BenchRow `json:"rows"`
+	Scheme string `json:"scheme"`
+	// Parallel is the concurrent-session count the workload ran with
+	// (absent or 1 = the paper's serial single-client shape).
+	Parallel int `json:"parallel,omitempty"`
+	// WriteBehind records whether the write-behind batching layer was
+	// interposed between the sessions and the SSP connection.
+	WriteBehind bool       `json:"write_behind,omitempty"`
+	Rows        []BenchRow `json:"rows"`
 }
 
 // benchRow assembles one row from a latency distribution, a total

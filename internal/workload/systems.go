@@ -119,12 +119,24 @@ type Options struct {
 	Scheme string
 	// LazyRevocation switches the Sharoes revocation mode.
 	LazyRevocation bool
-	// Trace attaches an obs metrics registry and client/server tracers to
-	// the built system (System.Metrics, System.Tracer,
-	// System.ServerTracer). Client ops then produce full span trees with
-	// SSP-side handler spans joined over the wire, at a small constant
-	// per-op cost — off by default so benchmark numbers stay comparable.
+	// Trace attaches client/server tracers to the built system
+	// (System.Tracer, System.ServerTracer). Client ops then produce full
+	// span trees with SSP-side handler spans joined over the wire, at a
+	// small constant per-op cost — off by default so benchmark numbers
+	// stay comparable. A metrics registry (System.Metrics) is always
+	// attached: counters are sharded atomics, far below the simulated
+	// link's noise floor.
 	Trace bool
+	// Parallel runs the Create-and-List and Postmark workloads across
+	// this many concurrent sessions sharing the system's one pipelined
+	// SSP connection (<=1 serial, the paper's original single-client
+	// shape). Tracing and Parallel are mutually exclusive: a tracer's
+	// span stack assumes one operation tree at a time.
+	Parallel int
+	// WriteBehind interposes an ssp.WriteBehind coalescing layer between
+	// the sessions and the SSP connection, batching puts into BatchPut
+	// flushes.
+	WriteBehind bool
 }
 
 // CalibratedProfile is the default benchmark link: the paper's DSL link
@@ -160,7 +172,20 @@ type System struct {
 	Tracer       *obs.Tracer // client-side spans
 	ServerTracer *obs.Tracer // SSP-side spans, joined via wire trace IDs
 
+	mount    func() (vfs.FS, error)
 	teardown []func() error
+}
+
+// NewSession mounts an additional session for the measuring user over the
+// system's existing store — the parallel workloads drive one session per
+// worker goroutine (a Session serializes its own operations). Extra
+// sessions share the system's recorder and are not individually closed;
+// they hold no resources beyond their cache.
+func (s *System) NewSession() (vfs.FS, error) {
+	if s.mount == nil {
+		return nil, fmt.Errorf("workload: system has no session factory")
+	}
+	return s.mount()
 }
 
 // Close tears the system down.
@@ -178,6 +203,9 @@ func (s *System) Close() error {
 // simulated link, bootstrap, and a mounted session for user alice.
 func Build(kind SystemKind, opts Options) (*System, error) {
 	opts.defaults()
+	if opts.Trace && opts.Parallel > 1 {
+		return nil, fmt.Errorf("workload: Trace and Parallel are mutually exclusive")
+	}
 	reg, users, err := Enterprise()
 	if err != nil {
 		return nil, err
@@ -188,22 +216,33 @@ func Build(kind SystemKind, opts Options) (*System, error) {
 	lis := netsim.Listen(opts.Profile)
 
 	sys := &System{Kind: kind, Backing: backing}
+	sys.Metrics = obs.NewRegistry()
 	if opts.Trace {
-		sys.Metrics = obs.NewRegistry()
 		sys.Tracer = obs.NewTracer("client")
 		sys.ServerTracer = obs.NewTracer("ssp")
-		server.Observe(sys.Metrics, sys.ServerTracer)
-		lis.Observe(sys.Metrics)
 	}
+	server.Observe(sys.Metrics, sys.ServerTracer)
+	lis.Observe(sys.Metrics)
 	go server.Serve(lis)
 
 	rec := &stats.Recorder{}
-	remote, err := ssp.Dial(lis.Dial, rec)
+	// The tracer rides along on Dial so even the mount-path RPCs are
+	// traced (nil when Options.Trace is off — tracing disabled).
+	remote, err := ssp.Dial(lis.Dial, rec, sys.Tracer)
 	if err != nil {
 		return nil, err
 	}
+	remote.ObserveMetrics(sys.Metrics)
 
-	sys.Rec, sys.Store = rec, remote
+	// The sessions' store: the raw pipelined connection, optionally
+	// behind a write-behind coalescing layer shared by every session so
+	// cross-session read-after-write stays coherent (reads flush first).
+	var store ssp.BlobStore = remote
+	if opts.WriteBehind {
+		store = ssp.NewWriteBehind(remote, ssp.WriteBehindOptions{Registry: sys.Metrics})
+	}
+
+	sys.Rec, sys.Store = rec, store
 	sys.teardown = append(sys.teardown, func() error { return server.Close() })
 	sys.teardown = append(sys.teardown, remote.Close)
 
@@ -224,7 +263,12 @@ func Build(kind SystemKind, opts Options) (*System, error) {
 			sys.Close()
 			return nil, err
 		}
-		fs, err := client.Mount(client.Config{Store: remote, User: alice, Registry: reg,
+		sys.mount = func() (vfs.FS, error) {
+			return client.Mount(client.Config{Store: store, User: alice, Registry: reg,
+				Layout: eng, FSID: fsid, Recorder: rec, CacheBytes: opts.CacheBytes,
+				BlockSize: opts.BlockSize, LazyRevocation: opts.LazyRevocation})
+		}
+		fs, err := client.Mount(client.Config{Store: store, User: alice, Registry: reg,
 			Layout: eng, FSID: fsid, Recorder: rec, CacheBytes: opts.CacheBytes,
 			BlockSize: opts.BlockSize, LazyRevocation: opts.LazyRevocation,
 			Tracer: sys.Tracer, Metrics: sys.Metrics})
@@ -243,7 +287,12 @@ func Build(kind SystemKind, opts Options) (*System, error) {
 			sys.Close()
 			return nil, err
 		}
-		fs, err := baseline.Mount(baseline.Config{Store: remote, Mode: mode, User: alice,
+		sys.mount = func() (vfs.FS, error) {
+			return baseline.Mount(baseline.Config{Store: store, Mode: mode, User: alice,
+				Registry: reg, FSID: fsid, Recorder: rec, CacheBytes: opts.CacheBytes,
+				BlockSize: opts.BlockSize})
+		}
+		fs, err := baseline.Mount(baseline.Config{Store: store, Mode: mode, User: alice,
 			Registry: reg, FSID: fsid, Recorder: rec, CacheBytes: opts.CacheBytes,
 			BlockSize: opts.BlockSize})
 		if err != nil {
