@@ -20,7 +20,7 @@ FUZZ_TARGETS := \
 
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet vet-self race fuzz-smoke bench-compare check
+.PHONY: all build test vet vet-self vet-json race fuzz-smoke bench-compare check
 
 all: build
 
@@ -30,23 +30,31 @@ build:
 test:
 	$(GO) test ./...
 
-# vet = the stock toolchain vet plus the repo's own security-invariant
-# analyzers (key leaks, AAD binding, seeded randomness, error hygiene,
-# untrusted-input verification, key egress).
+# vet = the stock toolchain vet plus the repo's own invariant analyzers:
+# six security analyzers (key leaks, AAD binding, seeded randomness,
+# error hygiene, untrusted-input verification, key egress) and four
+# concurrency analyzers (lock ordering, lock balance, goroutine leaks,
+# atomic/plain mixed access).
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/sharoes-vet ./...
 
-# vet-self runs all six sharoes-vet analyzers over the whole module and
+# vet-self runs all ten sharoes-vet analyzers over the whole module and
 # fails on any unsuppressed finding (exit 1) or load error (exit 2).
-# See docs/ANALYZERS.md for the source/sanitizer/sink tables.
+# Bare //sharoes-vet:allow directives (no justification) are findings.
+# See docs/ANALYZERS.md for the analyzer tables and allow conventions.
 vet-self:
 	$(GO) run ./cmd/sharoes-vet ./...
 
+# vet-json emits the machine-readable report CI archives as an artifact:
+# {"findings": [...], "allows": {analyzer: count}}.
+vet-json:
+	$(GO) run ./cmd/sharoes-vet -json ./... > vet-findings.json
+
 # race runs the packages with dedicated concurrency stress tests under
-# the race detector.
+# the race detector (internal/analysis for its parallel package loader).
 race:
-	$(GO) test -race ./internal/client ./internal/ssp ./internal/cache ./internal/obs
+	$(GO) test -race ./internal/client ./internal/ssp ./internal/cache ./internal/obs ./internal/analysis
 
 # bench-compare proves the committed artifacts' transport claim: the
 # parallel pipelined + write-behind run must beat the serial run by >=2x

@@ -3,11 +3,17 @@
 //
 //	sharoes-vet ./...                 # whole module
 //	sharoes-vet ./internal/ssp        # one package
-//	sharoes-vet -list                 # describe the analyzers
+//	sharoes-vet -list                 # describe the analyzers + allow counts
 //	sharoes-vet -json ./...           # machine-readable findings
 //
-// It prints findings in file:line:col form (or, with -json, as a JSON
-// array of {analyzer, file, line, col, message} objects) and exits with:
+// Packages load and type-check concurrently on a bounded worker pool in
+// dependency order; analyzer runs stay sequential and deterministic.
+//
+// It prints findings in file:line:col form. With -json it prints one
+// object: {"findings": [{analyzer, file, line, col, message}, ...],
+// "allows": {analyzer: count, ...}}, where allows tallies the justified
+// //sharoes-vet:allow directives in the analyzed packages. -list appends
+// each analyzer's allow count over the same package patterns. Exits:
 //
 //	0  clean tree
 //	1  at least one unsuppressed finding
@@ -40,16 +46,23 @@ type jsonFinding struct {
 	Message  string `json:"message"`
 }
 
+// jsonReport is the -json output document.
+type jsonReport struct {
+	Findings []jsonFinding  `json:"findings"`
+	Allows   map[string]int `json:"allows"`
+}
+
 func main() {
-	list := flag.Bool("list", false, "list the analyzers and exit")
+	list := flag.Bool("list", false, "list the analyzers (with allow counts) and exit")
 	only := flag.String("run", "", "comma-separated analyzer names to run (default all)")
-	asJSON := flag.Bool("json", false, "print findings as a JSON array on stdout")
+	asJSON := flag.Bool("json", false, "print a JSON report on stdout")
 	flag.Parse()
 
 	analyzers := analysis.Analyzers()
 	if *list {
+		allows := analysis.ScanAllowCounts(expandOrDie(flag.Args()))
 		for _, a := range analyzers {
-			fmt.Printf("%-10s %s\n", a.Name(), a.Doc())
+			fmt.Printf("%-12s allows=%-3d %s\n", a.Name(), allows[a.Name()], a.Doc())
 		}
 		return
 	}
@@ -74,10 +87,7 @@ func main() {
 		analyzers = sel
 	}
 
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
+	dirs := expandOrDie(flag.Args())
 	cwd, err := os.Getwd()
 	if err != nil {
 		fatal(err)
@@ -86,24 +96,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	dirs, err := analysis.ExpandPatterns(cwd, patterns)
+	pkgs, err := loader.LoadAll(dirs)
 	if err != nil {
 		fatal(err)
 	}
 
 	var all []analysis.Finding
-	for _, dir := range dirs {
-		pkg, err := loader.LoadDir(dir)
-		if err != nil {
-			fatal(err)
-		}
+	for _, pkg := range pkgs {
 		all = append(all, analysis.Run(pkg, analyzers)...)
 	}
 
 	if *asJSON {
-		out := make([]jsonFinding, 0, len(all))
+		report := jsonReport{
+			Findings: make([]jsonFinding, 0, len(all)),
+			Allows:   analysis.ScanAllowCounts(dirs),
+		}
 		for _, f := range all {
-			out = append(out, jsonFinding{
+			report.Findings = append(report.Findings, jsonFinding{
 				Analyzer: f.Analyzer,
 				File:     f.Pos.Filename,
 				Line:     f.Pos.Line,
@@ -113,7 +122,7 @@ func main() {
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		if err := enc.Encode(report); err != nil {
 			fatal(err)
 		}
 	} else {
@@ -125,6 +134,22 @@ func main() {
 		os.Exit(exitFindings)
 	}
 	os.Exit(exitClean)
+}
+
+// expandOrDie resolves package patterns (default ./...) to directories.
+func expandOrDie(patterns []string) []string {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	dirs, err := analysis.ExpandPatterns(cwd, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	return dirs
 }
 
 func analyzerNames(as []analysis.Analyzer) []string {

@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBareAllowIsAFinding pins the justification requirement: a
+// directive without a reason suppresses nothing and is itself reported.
+func TestBareAllowIsAFinding(t *testing.T) {
+	got := runOne(t, RawRand{}, "allowbare")
+	if len(got) != 2 {
+		t.Fatalf("allowbare: got %d findings, want 2 (bare directive + unsuppressed rawrand):\n%s", len(got), findingsText(got))
+	}
+	var sawBare, sawRaw bool
+	for _, f := range got {
+		switch f.Analyzer {
+		case "allow":
+			sawBare = true
+			if !strings.Contains(f.Message, "no justification") {
+				t.Errorf("bare-allow message %q does not explain the requirement", f.Message)
+			}
+		case "rawrand":
+			sawRaw = true
+		}
+	}
+	if !sawBare || !sawRaw {
+		t.Fatalf("missing finding (bare=%v rawrand=%v):\n%s", sawBare, sawRaw, findingsText(got))
+	}
+}
+
+// TestAllowCounts checks the per-package tally used by -json.
+func TestAllowCounts(t *testing.T) {
+	p := fixturePkg(t, "aadbindgood")
+	if got := AllowCounts(p); got["aadbind"] != 1 {
+		t.Errorf("AllowCounts(aadbindgood) = %v, want aadbind:1", got)
+	}
+	// The bare directive in allowbare must not count as a usable allow.
+	p = fixturePkg(t, "allowbare")
+	if got := AllowCounts(p); got["rawrand"] != 0 {
+		t.Errorf("AllowCounts(allowbare) = %v, want rawrand:0", got)
+	}
+}

@@ -81,14 +81,19 @@ type Analyzer interface {
 
 // Analyzers returns the full sharoes-vet suite.
 func Analyzers() []Analyzer {
-	return []Analyzer{KeyLeak{}, AADBind{}, RawRand{}, ErrString{}, Unverified{}, KeyEgress{}}
+	return []Analyzer{
+		KeyLeak{}, AADBind{}, RawRand{}, ErrString{}, Unverified{}, KeyEgress{},
+		LockOrder{}, LockBalance{}, GoLeak{}, AtomicMix{},
+	}
 }
 
 // Run executes the analyzers over p, drops suppressed findings, and
-// returns the remainder sorted by position.
+// returns the remainder sorted by position. Allow directives missing a
+// justification suppress nothing and are themselves reported as
+// findings: an unexplained suppression is a finding someone buried.
 func Run(p *Package, analyzers []Analyzer) []Finding {
-	allow := collectAllowances(p)
-	var out []Finding
+	allow, bare := collectAllowances(p)
+	out := bare
 	for _, a := range analyzers {
 		for _, f := range a.Check(p) {
 			if allow.covers(f.Pos.Filename, f.Pos.Line, a.Name()) {
@@ -126,23 +131,52 @@ func (a allowances) covers(file string, line int, analyzer string) bool {
 	return lines[line][analyzer] || lines[line-1][analyzer]
 }
 
-func collectAllowances(p *Package) allowances {
+// parseAllowDirective splits one comment into the analyzer names it
+// suppresses and the free-form justification. ok is false for comments
+// that are not allow directives at all.
+func parseAllowDirective(text string) (names []string, reason string, ok bool) {
+	rest, ok := strings.CutPrefix(text, strings.TrimSuffix(allowDirective, " "))
+	if !ok {
+		return nil, "", false
+	}
+	rest = strings.TrimSpace(rest)
+	// First field is the comma-separated analyzer list; the rest of the
+	// line is the justification.
+	list := rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		list, reason = rest[:i], strings.TrimSpace(rest[i+1:])
+	}
+	for _, n := range strings.Split(list, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, reason, true
+}
+
+// collectAllowances gathers the package's allow directives. Directives
+// without a justification are returned as findings (analyzer "allow")
+// instead of being honored.
+func collectAllowances(p *Package) (allowances, []Finding) {
 	out := make(allowances)
+	var bare []Finding
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, strings.TrimSuffix(allowDirective, " "))
+				names, reason, ok := parseAllowDirective(c.Text)
 				if !ok {
 					continue
 				}
-				rest = strings.TrimSpace(rest)
-				// First field is the comma-separated analyzer list; the
-				// rest of the line is a free-form reason.
-				names := rest
-				if i := strings.IndexAny(rest, " \t"); i >= 0 {
-					names = rest[:i]
-				}
 				pos := p.Fset.Position(c.Pos())
+				if reason == "" {
+					bare = append(bare, Finding{
+						Analyzer: "allow",
+						Pos:      pos,
+						Message: "allow directive for " + strings.Join(names, ",") +
+							" has no justification; write the reason after the analyzer list",
+					})
+					continue
+				}
 				lines := out[pos.Filename]
 				if lines == nil {
 					lines = make(map[int]map[string]bool)
@@ -153,10 +187,29 @@ func collectAllowances(p *Package) allowances {
 					set = make(map[string]bool)
 					lines[pos.Line] = set
 				}
-				for _, n := range strings.Split(names, ",") {
-					if n = strings.TrimSpace(n); n != "" {
-						set[n] = true
-					}
+				for _, n := range names {
+					set[n] = true
+				}
+			}
+		}
+	}
+	return out, bare
+}
+
+// AllowCounts tallies the package's justified allow directives per
+// analyzer name, so tools can surface how much of the tree is running
+// on exemptions.
+func AllowCounts(p *Package) map[string]int {
+	out := make(map[string]int)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, reason, ok := parseAllowDirective(c.Text)
+				if !ok || reason == "" {
+					continue
+				}
+				for _, n := range names {
+					out[n]++
 				}
 			}
 		}

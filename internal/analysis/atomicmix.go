@@ -1,0 +1,109 @@
+package analysis
+
+// AtomicMix reports two ways a struct field's synchronization story can
+// be inconsistent:
+//
+//  1. Mixed atomic/plain access: a field touched through sync/atomic
+//     package functions anywhere in the package must never also be
+//     read or written directly — the plain access races with the
+//     atomic ones. (Typed atomics like atomic.Int64 cannot mix and are
+//     exempt by construction.)
+//  2. Guarded-by violations: when a field's accesses are predominantly
+//     made holding one mutex field of the same owner type (at least
+//     one guarded write, at least two guarded accesses, more guarded
+//     than not), the stragglers that skip the lock are reported.
+//
+// Accesses inside functions returning the owner type (constructors,
+// before the value is shared) are exempt from both checks.
+type AtomicMix struct{}
+
+// Name implements Analyzer.
+func (AtomicMix) Name() string { return "atomicmix" }
+
+// Doc implements Analyzer.
+func (AtomicMix) Doc() string {
+	return "report fields mixing sync/atomic and plain access, and accesses that skip the field's inferred guard"
+}
+
+// Check implements Analyzer.
+func (AtomicMix) Check(p *Package) []Finding {
+	e := concFor(p)
+	var out []Finding
+
+	byClass := make(map[string][]fieldAccess)
+	for _, a := range e.accesses {
+		byClass[a.class.key] = append(byClass[a.class.key], a)
+	}
+
+	// 1. Mixed atomic/plain.
+	for key := range e.atomicOps {
+		for _, a := range byClass[key] {
+			if a.inCtor {
+				continue
+			}
+			verb := "read"
+			if a.write {
+				verb = "written"
+			}
+			out = append(out, Finding{
+				Analyzer: "atomicmix",
+				Pos:      p.Fset.Position(a.pos),
+				Message: "field " + a.class.display() + " is accessed with sync/atomic elsewhere but " +
+					verb + " directly here (racy mixed access)",
+			})
+		}
+	}
+
+	// 2. Guarded-by inference over the remaining classes.
+	for key, accs := range byClass {
+		if _, isAtomic := e.atomicOps[key]; isAtomic {
+			continue
+		}
+		owner := accs[0].class.owner
+		// Candidate guards: mutex-typed fields of the same owner type.
+		bestGuard := ""
+		bestGuarded := 0
+		for g := range e.guards {
+			gc := e.classes[g]
+			if gc.owner != owner {
+				continue
+			}
+			guarded, unguarded, guardedWrites := 0, 0, 0
+			for _, a := range accs {
+				if a.inCtor {
+					continue
+				}
+				if a.held[g] {
+					guarded++
+					if a.write {
+						guardedWrites++
+					}
+				} else {
+					unguarded++
+				}
+			}
+			if guardedWrites >= 1 && guarded >= 2 && guarded > unguarded && guarded > bestGuarded {
+				bestGuard, bestGuarded = g, guarded
+			}
+		}
+		if bestGuard == "" {
+			continue
+		}
+		for _, a := range accs {
+			if a.inCtor || a.held[bestGuard] {
+				continue
+			}
+			verb := "read"
+			if a.write {
+				verb = "written"
+			}
+			out = append(out, Finding{
+				Analyzer: "atomicmix",
+				Pos:      p.Fset.Position(a.pos),
+				Message: "field " + a.class.display() + " is usually accessed holding " +
+					e.classes[bestGuard].display() + " but is " + verb + " here without it",
+			})
+		}
+	}
+	return sortFindings(out)
+}

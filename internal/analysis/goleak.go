@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+)
+
+// GoLeak reports goroutines that can run forever with no reachable way
+// to stop them. A spawn is audited when its target (transitively, via
+// plain local calls) contains a loop that can run unbounded — a
+// condition-less for statement or a range over a channel. The spawn is
+// exempt when any shutdown edge exists:
+//
+//   - the spawner joins its goroutines with sync.WaitGroup.Wait;
+//   - the goroutine (transitively) selects on a context.Context.Done
+//     channel;
+//   - the goroutine receives from or ranges over a channel class that
+//     some function in the package closes — the close is the stop
+//     signal;
+//   - the owning type (the spawned method's receiver, the spawning
+//     method's receiver, or a named type the spawning constructor
+//     returns) has a Close, Stop or Shutdown method — lifecycle is the
+//     owner's contract;
+//   - the spawn happens in package main's main entrypoint (process
+//     lifetime) or in a test file.
+type GoLeak struct{}
+
+// Name implements Analyzer.
+func (GoLeak) Name() string { return "goleak" }
+
+// Doc implements Analyzer.
+func (GoLeak) Doc() string {
+	return "report goroutines with unbounded loops and no reachable shutdown edge"
+}
+
+// Check implements Analyzer.
+func (GoLeak) Check(p *Package) []Finding {
+	e := concFor(p)
+
+	// Plain-local-call adjacency, for the transitive receive set.
+	callees := make(map[*funcUnit][]*funcUnit)
+	for _, s := range e.sites {
+		callees[s.caller] = append(callees[s.caller], s.callee)
+	}
+	transRecvs := func(start *funcUnit) map[string]bool {
+		out := make(map[string]bool)
+		seen := map[*funcUnit]bool{start: true}
+		stack := []*funcUnit{start}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for k := range e.recvs[u] {
+				out[k] = true
+			}
+			for _, c := range callees[u] {
+				if !seen[c] {
+					seen[c] = true
+					stack = append(stack, c)
+				}
+			}
+		}
+		return out
+	}
+
+	var out []Finding
+	for _, sp := range e.spawns {
+		if sp.target == nil {
+			continue // cross-package body: out of scope
+		}
+		sum := e.sums[sp.target]
+		if sum == nil || !sum.loopRisk {
+			continue
+		}
+		pos := p.Fset.Position(sp.pos)
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		if isMainEntry(p, sp.unit) {
+			continue
+		}
+		if ssum := e.sums[sp.unit]; ssum != nil && ssum.waits {
+			continue
+		}
+		if sum.usesDone {
+			continue
+		}
+		closable := false
+		for k := range transRecvs(sp.target) {
+			if e.closes[k] {
+				closable = true
+				break
+			}
+		}
+		if closable {
+			continue
+		}
+		if ownerHasStopper(p, sp) {
+			continue
+		}
+		out = append(out, Finding{
+			Analyzer: "goleak",
+			Pos:      pos,
+			Message: "goroutine " + sp.target.name + " loops forever with no reachable shutdown edge " +
+				"(no owner Close/Stop, context cancel, channel close, or WaitGroup join)",
+		})
+	}
+	return sortFindings(out)
+}
+
+// isMainEntry reports a spawn from (inside) func main in package main.
+func isMainEntry(p *Package, u *funcUnit) bool {
+	if p.Types == nil || p.Types.Name() != "main" {
+		return false
+	}
+	for u.enclosing != nil {
+		u = u.enclosing
+	}
+	return u.obj != nil && u.obj.Name() == "main" && u.obj.Type().(*types.Signature).Recv() == nil
+}
+
+// ownerHasStopper checks whether any named type that plausibly owns the
+// spawned goroutine carries a lifecycle method.
+func ownerHasStopper(p *Package, sp spawnSite) bool {
+	var owners []types.Type
+	addRecv := func(u *funcUnit) {
+		for u != nil {
+			if u.obj != nil {
+				if sig, ok := u.obj.Type().(*types.Signature); ok {
+					if sig.Recv() != nil {
+						owners = append(owners, sig.Recv().Type())
+					}
+					// A constructor's named result types own what the
+					// constructor starts.
+					if res := sig.Results(); res != nil {
+						for i := 0; i < res.Len(); i++ {
+							owners = append(owners, res.At(i).Type())
+						}
+					}
+				}
+			}
+			u = u.enclosing
+		}
+	}
+	addRecv(sp.target)
+	addRecv(sp.unit)
+	for _, t := range owners {
+		if hasStopMethod(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasStopMethod reports a Close, Stop or Shutdown method in t's pointer
+// method set.
+func hasStopMethod(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := t.(*types.Named); !ok {
+		return false
+	}
+	ms := types.NewMethodSet(types.NewPointer(t))
+	for i := 0; i < ms.Len(); i++ {
+		switch ms.At(i).Obj().Name() {
+		case "Close", "Stop", "Shutdown":
+			return true
+		}
+	}
+	return false
+}

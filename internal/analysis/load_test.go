@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadErrorPath pins the malformed-package contract: LoadDir and
+// LoadAll return an error — which sharoes-vet maps to exit 2 — instead
+// of panicking.
+func TestLoadErrorPath(t *testing.T) {
+	loaderOnce.Do(func() { loader, loaderErr = NewLoader(".") })
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	dir := filepath.Join("testdata", "src", "brokenload")
+	if _, err := loader.LoadDir(dir); err == nil {
+		t.Fatal("LoadDir(brokenload): no error for a package that does not parse")
+	} else if !strings.Contains(err.Error(), "brokenload") {
+		t.Errorf("LoadDir(brokenload) error does not name the package: %v", err)
+	}
+	// LoadAll's parse-only discovery pass hits the same syntax error.
+	if _, err := loader.LoadAll([]string{dir}); err == nil {
+		t.Fatal("LoadAll(brokenload): no error for a package that does not parse")
+	}
+}
+
+// TestLoadAllMatchesSequential loads a dependency-heavy slice of the
+// real tree through the worker pool and checks the results against the
+// sequential path (which shares the memoizing cache, so identity
+// equality is the contract).
+func TestLoadAllMatchesSequential(t *testing.T) {
+	loaderOnce.Do(func() { loader, loaderErr = NewLoader(".") })
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	dirs := []string{"../ssp", "../client", "../obs", "../baseline", "../cache", "../wire"}
+	pkgs, err := loader.LoadAll(dirs)
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if len(pkgs) != len(dirs) {
+		t.Fatalf("LoadAll returned %d packages for %d dirs", len(pkgs), len(dirs))
+	}
+	for i, dir := range dirs {
+		seq, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("LoadDir(%s): %v", dir, err)
+		}
+		if pkgs[i] != seq {
+			t.Errorf("%s: LoadAll and LoadDir returned different packages", dir)
+		}
+		if pkgs[i].Types == nil || len(pkgs[i].Files) == 0 {
+			t.Errorf("%s: incomplete package from LoadAll", dir)
+		}
+	}
+}
+
+// TestScanAllowCounts checks the syntax-only directive tally against
+// fixtures with known directive counts (and that bare directives do not
+// count).
+func TestScanAllowCounts(t *testing.T) {
+	got := ScanAllowCounts([]string{
+		filepath.Join("testdata", "src", "aadbindgood"),
+		filepath.Join("testdata", "src", "unverifiedgood", "internal", "client"),
+	})
+	if got["aadbind"] != 1 || got["unverified"] != 1 {
+		t.Errorf("ScanAllowCounts = %v, want aadbind:1 unverified:1", got)
+	}
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockBalance reports lock/unlock discipline violations found by the
+// path-sensitive walk in conc.go — locks held at some but not all path
+// joins, locks leaked at function exit, unlocks of locks not held
+// (double unlock), held counts that drift across loop iterations — plus
+// syntactic copylocks violations: values of types containing sync
+// primitives copied by receiver, parameter, assignment or range.
+type LockBalance struct{}
+
+// Name implements Analyzer.
+func (LockBalance) Name() string { return "lockbalance" }
+
+// Doc implements Analyzer.
+func (LockBalance) Doc() string {
+	return "check Lock/Unlock pairing on all paths, double unlocks, and sync values copied by value"
+}
+
+// Check implements Analyzer.
+func (LockBalance) Check(p *Package) []Finding {
+	e := concFor(p)
+	out := append([]Finding(nil), e.balance...)
+	out = append(out, copylocks(p)...)
+	return sortFindings(out)
+}
+
+// copylocks flags by-value copies of types that contain a sync
+// primitive (Mutex, RWMutex, WaitGroup, Cond, Once). A copied lock
+// guards nothing: the copy and the original lock independently.
+func copylocks(p *Package) []Finding {
+	var out []Finding
+	report := func(n ast.Node, what string, t types.Type) {
+		out = append(out, Finding{
+			Analyzer: "lockbalance",
+			Pos:      p.Fset.Position(n.Pos()),
+			Message:  what + " copies lock value: " + types.TypeString(t, types.RelativeTo(p.Types)) + " contains a sync primitive",
+		})
+	}
+	// isCopy reports whether evaluating expr produces a copy of an
+	// existing lock-containing value. Composite literals and call
+	// results are fresh values; everything else of such a type is a
+	// copy of something already in use.
+	isCopy := func(expr ast.Expr) (types.Type, bool) {
+		switch ast.Unparen(expr).(type) {
+		case *ast.CompositeLit, *ast.CallExpr, *ast.FuncLit, *ast.BasicLit:
+			return nil, false
+		case *ast.UnaryExpr, *ast.TypeAssertExpr:
+			// &x (pointer) and channel receives do not copy in place.
+			return nil, false
+		}
+		t := p.Info.TypeOf(expr)
+		if t == nil || !containsSyncPrimitive(t) {
+			return nil, false
+		}
+		return t, true
+	}
+	checkFieldList(p, report)
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for _, r := range x.Rhs {
+					if t, bad := isCopy(r); bad {
+						report(r, "assignment", t)
+					}
+				}
+			case *ast.RangeStmt:
+				if x.Value == nil {
+					return true
+				}
+				if t := p.Info.TypeOf(x.Value); t != nil && containsSyncPrimitive(t) {
+					report(x.Value, "range clause", t)
+				}
+			case *ast.CallExpr:
+				for _, a := range x.Args {
+					if t, bad := isCopy(a); bad {
+						report(a, "call argument", t)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkFieldList flags receivers and parameters whose declared type
+// contains a sync primitive by value.
+func checkFieldList(p *Package, report func(n ast.Node, what string, t types.Type)) {
+	checkSig := func(recv *ast.FieldList, params *ast.FieldList) {
+		if recv != nil {
+			for _, f := range recv.List {
+				if t := p.Info.TypeOf(f.Type); t != nil && containsSyncPrimitive(t) {
+					report(f.Type, "value receiver", t)
+				}
+			}
+		}
+		if params != nil {
+			for _, f := range params.List {
+				if t := p.Info.TypeOf(f.Type); t != nil && containsSyncPrimitive(t) {
+					report(f.Type, "parameter", t)
+				}
+			}
+		}
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				checkSig(x.Recv, x.Type.Params)
+			case *ast.FuncLit:
+				checkSig(nil, x.Type.Params)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,60 @@
+package analysis
+
+// LockOrder reports cycles in the package's lock-acquisition graph.
+// An edge A → B is recorded whenever a path acquires lock class B while
+// holding lock class A, including through plain local calls (a caller
+// holding A that calls a helper which locks B contributes A → B). Two
+// goroutines traversing a cycle in opposite directions can deadlock.
+type LockOrder struct{}
+
+// Name implements Analyzer.
+func (LockOrder) Name() string { return "lockorder" }
+
+// Doc implements Analyzer.
+func (LockOrder) Doc() string {
+	return "report cycles in the cross-function lock-acquisition order (potential deadlocks)"
+}
+
+// Check implements Analyzer.
+func (LockOrder) Check(p *Package) []Finding {
+	e := concFor(p)
+	adj := make(map[string][]string)
+	for k := range e.edges {
+		adj[k[0]] = append(adj[k[0]], k[1])
+	}
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{from: true}
+		stack := []string{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, m := range adj[n] {
+				if m == to {
+					return true
+				}
+				if !seen[m] {
+					seen[m] = true
+					stack = append(stack, m)
+				}
+			}
+		}
+		return false
+	}
+	// Every edge that sits on a cycle is reported: each acquisition site
+	// involved in the deadlock is actionable, and reporting all of them
+	// keeps the output deterministic.
+	var out []Finding
+	for k, pos := range e.edges {
+		a, b := k[0], k[1]
+		if !reaches(b, a) {
+			continue
+		}
+		out = append(out, Finding{
+			Analyzer: "lockorder",
+			Pos:      p.Fset.Position(pos),
+			Message: "lock order cycle: " + e.classes[b].display() + " is acquired while holding " +
+				e.classes[a].display() + ", and the reverse order also occurs (potential deadlock)",
+		})
+	}
+	return sortFindings(out)
+}

@@ -125,11 +125,6 @@ type taintSpec struct {
 // simply stopping.
 const maxBodyPasses = 32
 
-// maxSummaryRounds bounds the package-level summary fixpoint (handles
-// recursion and mutual recursion: summaries only grow, so iteration
-// terminates, and the bound is a backstop).
-const maxSummaryRounds = 16
-
 // sinkHit records a sink reached by a parameter inside a callee, so the
 // taint can be reported at a call site that supplies a concrete source.
 type sinkHit struct {
@@ -158,8 +153,14 @@ type funcInfo struct {
 	sum     *funcSummary
 }
 
-// taintEngine analyzes one package under one spec.
+// taintEngine analyzes one package under one spec. It is an effect
+// domain over the shared effectEngine: taint effects attach to the
+// declared function units (literal units carry no taint summaries of
+// their own — the engine predates them and treats a literal's body as
+// part of its enclosing function, which is sound for taint because the
+// lexical variable state is shared).
 type taintEngine struct {
+	eng     *effectEngine
 	p       *Package
 	spec    *taintSpec
 	modRoot string // module path prefix for module-internal detection
@@ -170,6 +171,7 @@ type taintEngine struct {
 // analyzeTaint runs the engine and returns the findings.
 func analyzeTaint(p *Package, spec *taintSpec) []Finding {
 	e := &taintEngine{
+		eng:     newEffectEngine(p),
 		p:       p,
 		spec:    spec,
 		modRoot: moduleRootOf(p.Path),
@@ -200,78 +202,68 @@ func (e *taintEngine) isModuleInternal(fn *types.Func) bool {
 	return fn.Pkg() != nil && strings.HasPrefix(fn.Pkg().Path(), e.modRoot)
 }
 
-// collect gathers the package's function declarations.
+// collect builds taint state for the effect engine's declared units.
 func (e *taintEngine) collect() {
-	for _, file := range e.p.Files {
-		for _, d := range file.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			obj, ok := e.p.Info.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			fi := &funcInfo{decl: fd, obj: obj}
-			if fd.Recv != nil {
-				for _, f := range fd.Recv.List {
-					for _, n := range f.Names {
-						fi.params = append(fi.params, e.p.Info.Defs[n])
-					}
-					if len(f.Names) == 0 {
-						fi.params = append(fi.params, nil) // unnamed receiver
-					}
-				}
-			}
-			if fd.Type.Params != nil {
-				for _, f := range fd.Type.Params.List {
-					for _, n := range f.Names {
-						fi.params = append(fi.params, e.p.Info.Defs[n])
-					}
-					if len(f.Names) == 0 {
-						fi.params = append(fi.params, nil)
-					}
-				}
-			}
-			if fd.Type.Results != nil {
-				for _, f := range fd.Type.Results.List {
-					if len(f.Names) == 0 {
-						fi.nres++
-						fi.results = append(fi.results, nil)
-						continue
-					}
-					for _, n := range f.Names {
-						fi.nres++
-						fi.results = append(fi.results, e.p.Info.Defs[n])
-					}
-				}
-			}
-			fi.sum = &funcSummary{paramSinks: make(map[int][]sinkHit)}
-			for i := 0; i < fi.nres; i++ {
-				fi.sum.results = append(fi.sum.results, make(taintSet))
-			}
-			e.funcs[obj] = fi
-			e.order = append(e.order, fi)
+	for _, u := range e.eng.units {
+		if u.decl == nil {
+			continue // literal bodies analyze with their enclosing function
 		}
+		fd, obj := u.decl, u.obj
+		fi := &funcInfo{decl: fd, obj: obj}
+		if fd.Recv != nil {
+			for _, f := range fd.Recv.List {
+				for _, n := range f.Names {
+					fi.params = append(fi.params, e.p.Info.Defs[n])
+				}
+				if len(f.Names) == 0 {
+					fi.params = append(fi.params, nil) // unnamed receiver
+				}
+			}
+		}
+		if fd.Type.Params != nil {
+			for _, f := range fd.Type.Params.List {
+				for _, n := range f.Names {
+					fi.params = append(fi.params, e.p.Info.Defs[n])
+				}
+				if len(f.Names) == 0 {
+					fi.params = append(fi.params, nil)
+				}
+			}
+		}
+		if fd.Type.Results != nil {
+			for _, f := range fd.Type.Results.List {
+				if len(f.Names) == 0 {
+					fi.nres++
+					fi.results = append(fi.results, nil)
+					continue
+				}
+				for _, n := range f.Names {
+					fi.nres++
+					fi.results = append(fi.results, e.p.Info.Defs[n])
+				}
+			}
+		}
+		fi.sum = &funcSummary{paramSinks: make(map[int][]sinkHit)}
+		for i := 0; i < fi.nres; i++ {
+			fi.sum.results = append(fi.sum.results, make(taintSet))
+		}
+		e.funcs[obj] = fi
+		e.order = append(e.order, fi)
 	}
 }
 
-// summarize iterates the package's functions until every summary is
-// stable. Recursive and mutually recursive call graphs terminate because
-// summaries only ever grow.
+// summarize drives the taint summaries to the package-level fixpoint via
+// the shared effect engine. Recursive and mutually recursive call graphs
+// terminate because summaries only ever grow.
 func (e *taintEngine) summarize() {
-	for round := 0; round < maxSummaryRounds; round++ {
-		changed := false
-		for _, fi := range e.order {
-			st := e.analyzeBody(fi)
-			if e.mergeSummary(fi, st) {
-				changed = true
-			}
+	e.eng.fixpoint(func(u *funcUnit) bool {
+		fi, ok := e.funcs[u.obj]
+		if !ok {
+			return false
 		}
-		if !changed {
-			return
-		}
-	}
+		st := e.analyzeBody(fi)
+		return e.mergeSummary(fi, st)
+	})
 }
 
 // mergeSummary folds one body analysis into fi's summary, reporting
@@ -554,27 +546,11 @@ func (e *taintEngine) exprTaint(st *bodyState, expr ast.Expr) taintSet {
 	return out
 }
 
-// resolvedCallee returns the called *types.Func for direct calls and
-// method calls, or nil for builtins, conversions and function values.
-func (e *taintEngine) resolvedCallee(call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		fn, _ := e.p.Info.Uses[fun].(*types.Func)
-		return fn
-	case *ast.SelectorExpr:
-		fn, _ := e.p.Info.Uses[fun.Sel].(*types.Func)
-		return fn
-	}
-	return nil
-}
-
 // callArgs returns the call's effective argument expressions with the
 // method receiver, if any, prepended — matching funcInfo.params.
 func (e *taintEngine) callArgs(call *ast.CallExpr) []ast.Expr {
-	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-		if s := e.p.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
-			return append([]ast.Expr{sel.X}, call.Args...)
-		}
+	if recv := methodReceiver(e.p.Info, call); recv != nil {
+		return append([]ast.Expr{recv}, call.Args...)
 	}
 	return call.Args
 }
@@ -659,7 +635,7 @@ func (e *taintEngine) callResultTaints(st *bodyState, call *ast.CallExpr, nres i
 		}
 	}
 
-	fn := e.resolvedCallee(call)
+	fn := resolvedCallee(e.p.Info, call)
 	if fn != nil {
 		if e.spec.sanitizer != nil && e.spec.sanitizer(fn) {
 			return out // results trusted; argument blessing in callEffects
@@ -719,7 +695,7 @@ func (e *taintEngine) callResultTaints(st *bodyState, call *ast.CallExpr, nres i
 // blessing, decode-into-pointer propagation, and receiver mutation by
 // unknown callees. Returns whether any variable's taint grew.
 func (e *taintEngine) callEffects(st *bodyState, call *ast.CallExpr) bool {
-	fn := e.resolvedCallee(call)
+	fn := resolvedCallee(e.p.Info, call)
 	if fn != nil && e.spec.sanitizer != nil && e.spec.sanitizer(fn) {
 		// Verify-style sanitizers verify their arguments in place.
 		for _, a := range e.callArgs(call) {
@@ -830,7 +806,7 @@ func (e *taintEngine) reportBody(fi *funcInfo, st *bodyState) []Finding {
 	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.CallExpr:
-			fn := e.resolvedCallee(x)
+			fn := resolvedCallee(e.p.Info, x)
 			if fn == nil {
 				return true
 			}
@@ -951,7 +927,7 @@ func (e *taintEngine) sinkFlows(st *bodyState) {
 		if !ok {
 			return true
 		}
-		fn := e.resolvedCallee(call)
+		fn := resolvedCallee(e.p.Info, call)
 		if fn == nil {
 			return true
 		}

@@ -1,0 +1,10 @@
+// Package allowbare is a sharoes-vet test fixture: an allow directive
+// with no justification must not suppress the finding it sits on, and
+// must itself be reported.
+package allowbare
+
+//sharoes-vet:allow rawrand
+import "math/rand"
+
+// Entropy would be suppressed if the directive above carried a reason.
+func Entropy() int64 { return rand.Int63() }

@@ -1,0 +1,50 @@
+// Package atomicmixbad is a sharoes-vet test fixture: one field mixing
+// sync/atomic and plain access, and one field accessed under a mutex
+// everywhere except a single fast-path reader.
+package atomicmixbad
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter updates hits atomically and guards size with mu.
+type Counter struct {
+	mu   sync.Mutex
+	hits int64
+	size int
+}
+
+// Add is the atomic side of the hits story.
+func (c *Counter) Add() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Peek is the racy plain side of it.
+func (c *Counter) Peek() int64 {
+	return c.hits
+}
+
+// Grow, Shrink and Len establish mu as size's guard.
+func (c *Counter) Grow(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.size += n
+}
+
+func (c *Counter) Shrink(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.size -= n
+}
+
+func (c *Counter) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}
+
+// Fast reads size without the guard the other methods always hold.
+func (c *Counter) Fast() int {
+	return c.size
+}

@@ -1,0 +1,58 @@
+// Package atomicmixgood is a sharoes-vet test fixture: the disciplined
+// versions of atomicmixbad's patterns — a typed atomic (immune to mixed
+// access by construction), constructor initialization before sharing,
+// and a locked helper whose guard arrives via call-context inference.
+package atomicmixgood
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter uses a typed atomic for hits and guards size with mu.
+type Counter struct {
+	mu   sync.Mutex
+	hits atomic.Int64
+	size int
+}
+
+// NewCounter writes size before the value is shared: exempt.
+func NewCounter(size int) *Counter {
+	c := &Counter{}
+	c.size = size
+	return c
+}
+
+// Add and Peek cannot mix: the type has no plain representation.
+func (c *Counter) Add() {
+	c.hits.Add(1)
+}
+
+func (c *Counter) Peek() int64 {
+	return c.hits.Load()
+}
+
+// Grow and Len access size under mu.
+func (c *Counter) Grow(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.size += n
+}
+
+func (c *Counter) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}
+
+// sizeLocked runs under c.mu at every call site.
+func (c *Counter) sizeLocked() int {
+	return c.size
+}
+
+// Sum is sizeLocked's only caller.
+func (c *Counter) Sum() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sizeLocked() + 1
+}

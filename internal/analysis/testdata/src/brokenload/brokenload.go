@@ -1,0 +1,6 @@
+// Package brokenload is a sharoes-vet test fixture: a package that does
+// not parse. The loader must return an error (sharoes-vet exit 2), not
+// panic.
+package brokenload
+
+func Broken( {

@@ -1,0 +1,40 @@
+// Package goleakbad is a sharoes-vet test fixture: goroutines with
+// unbounded loops whose owners offer no shutdown edge at all — no
+// Close/Stop method, no context, no channel anyone closes, no join.
+package goleakbad
+
+import "sync"
+
+// Pump has no lifecycle method.
+type Pump struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// New leaks its drain goroutine: the only exit would be closing ch,
+// and nothing in the package ever does.
+func New() *Pump {
+	p := &Pump{ch: make(chan int)}
+	go p.drain()
+	return p
+}
+
+func (p *Pump) drain() {
+	for {
+		v := <-p.ch
+		p.mu.Lock()
+		p.n += v
+		p.mu.Unlock()
+	}
+}
+
+// Watch leaks an anonymous goroutine ranging over a channel this
+// package never closes, spawned from a function with no owner type.
+func Watch(updates chan int, f func(int)) {
+	go func() {
+		for v := range updates {
+			f(v)
+		}
+	}()
+}

@@ -1,0 +1,71 @@
+// Package goleakgood is a sharoes-vet test fixture: one unbounded-loop
+// goroutine per legitimate shutdown edge — an owner Close that closes
+// the stop channel, a WaitGroup join, and a context cancel.
+package goleakgood
+
+import (
+	"context"
+	"sync"
+)
+
+// Pump stops its drain goroutine through done.
+type Pump struct {
+	ch   chan int
+	done chan struct{}
+	n    int
+}
+
+// New's goroutine exits when Close fires.
+func New() *Pump {
+	p := &Pump{ch: make(chan int), done: make(chan struct{})}
+	go p.drain()
+	return p
+}
+
+func (p *Pump) drain() {
+	for {
+		select {
+		case v := <-p.ch:
+			p.n += v
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// Close is the shutdown edge: it closes the channel drain selects on.
+func (p *Pump) Close() {
+	close(p.done)
+}
+
+// Sum joins its workers before returning; the WaitGroup owns their
+// lifetime even though nothing in this package closes in.
+func Sum(in chan int, workers int) {
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := range in {
+				sink(v)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func sink(int) {}
+
+// Ticker's goroutine watches its context.
+func Ticker(ctx context.Context, f func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				f()
+			}
+		}
+	}()
+}

@@ -1,0 +1,59 @@
+// Package lockbalancebad is a sharoes-vet test fixture: one violation
+// per lockbalance rule — a lock leaked through an early return, a
+// double unlock, a branch join where only one side holds the lock, a
+// loop whose iterations drift the held count, and two copylocks shapes
+// (value receiver, lock-containing value copied by assignment).
+package lockbalancebad
+
+import "sync"
+
+// Store guards n with mu.
+type Store struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Leak returns early with mu still held.
+func (s *Store) Leak(v int) {
+	s.mu.Lock()
+	if v > 0 {
+		return // mu leaks here
+	}
+	s.mu.Unlock()
+}
+
+// Double unlocks twice on the same path.
+func (s *Store) Double() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.mu.Unlock() // not held any more
+}
+
+// Uneven joins a locking branch with a non-locking one.
+func (s *Store) Uneven(v int) {
+	if v > 0 {
+		s.mu.Lock()
+	}
+	s.n = v // reached both with and without mu
+	s.mu.Unlock()
+}
+
+// Drift ends each loop iteration one acquisition deeper than it began.
+func (s *Store) Drift(n int) {
+	for i := 0; i < n; i++ {
+		s.mu.Lock()
+	}
+}
+
+// Snapshot copies the whole Store — mu included — into its receiver.
+func (s Store) Snapshot() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Clone copies a live Store by dereference.
+func Clone(s *Store) int {
+	c := *s
+	return c.n
+}

@@ -1,0 +1,68 @@
+// Package lockbalancegood is a sharoes-vet test fixture: the locking
+// idioms the real tree uses, all of which lockbalance must accept —
+// deferred unlocks, early returns that release before returning,
+// per-iteration lock/unlock, helpers whose callers hold the lock
+// (covered by call-context inference), and locks passed by pointer.
+package lockbalancegood
+
+import "sync"
+
+// Store guards n with mu.
+type Store struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Deferred is the default idiom.
+func (s *Store) Deferred() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// EarlyReturn releases explicitly on every path.
+func (s *Store) EarlyReturn(v int) bool {
+	s.mu.Lock()
+	if s.n > v {
+		s.mu.Unlock()
+		return false
+	}
+	s.n = v
+	s.mu.Unlock()
+	return true
+}
+
+// PerIteration holds the lock only inside the loop body, entering and
+// leaving every iteration unlocked.
+func (s *Store) PerIteration(vals []int) {
+	for _, v := range vals {
+		s.mu.Lock()
+		s.n += v
+		s.mu.Unlock()
+	}
+}
+
+// setLocked runs with s.mu held by its callers; the inferred call
+// context carries the lock across the boundary.
+func (s *Store) setLocked(v int) {
+	s.n = v
+}
+
+// Set is setLocked's only caller and always holds mu.
+func (s *Store) Set(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.setLocked(v)
+}
+
+// with receives the lock by pointer — the legal way to hand one around.
+func with(mu *sync.Mutex, f func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	f()
+}
+
+// Apply routes through with.
+func (s *Store) Apply(f func()) {
+	with(&s.mu, f)
+}

@@ -1,0 +1,37 @@
+// Package lockorderbad is a sharoes-vet test fixture: two lock classes
+// acquired in opposite orders by different functions, with one side of
+// the cycle hidden behind a helper call so only the interprocedural
+// acquisition edges can see it.
+package lockorderbad
+
+import "sync"
+
+// Store has two independent locks with no documented order.
+type Store struct {
+	mu  sync.Mutex
+	idx sync.Mutex
+	n   int
+}
+
+// Get acquires mu then idx directly: the mu -> idx edge.
+func (s *Store) Get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idx.Lock()
+	defer s.idx.Unlock()
+	return s.n
+}
+
+// Put holds idx across a call to bump, which locks mu: the idx -> mu
+// edge exists only through the callee's acquisition summary.
+func (s *Store) Put(v int) {
+	s.idx.Lock()
+	defer s.idx.Unlock()
+	s.bump(v)
+}
+
+func (s *Store) bump(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n = v
+}

@@ -1,0 +1,36 @@
+// Package lockordergood is a sharoes-vet test fixture: the same
+// two-lock shape as lockorderbad, but every path agrees on the order
+// (mu before idx), including the path through the helper — a consistent
+// hierarchy, not a cycle.
+package lockordergood
+
+import "sync"
+
+// Store documents mu-before-idx as its lock order.
+type Store struct {
+	mu  sync.Mutex
+	idx sync.Mutex
+	n   int
+}
+
+// Get acquires mu then idx.
+func (s *Store) Get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idx.Lock()
+	defer s.idx.Unlock()
+	return s.n
+}
+
+// Put takes mu first and lets the helper take idx: same order as Get.
+func (s *Store) Put(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bump(v)
+}
+
+func (s *Store) bump(v int) {
+	s.idx.Lock()
+	defer s.idx.Unlock()
+	s.n = v
+}

@@ -1,6 +1,7 @@
 package ssp
 
 import (
+	"errors"
 	"strings"
 	"sync"
 
@@ -24,7 +25,16 @@ const (
 	// FaultSwap serves the blob stored under a different key of the same
 	// namespace, modelling object substitution.
 	FaultSwap
+	// FaultWriteErr fails writes (Put/BatchPut) to matching keys with
+	// ErrInjectedWrite, modelling a backend that serves reads but cannot
+	// persist. It exercises the deferred/sticky error path of the
+	// write-behind layer, whose flush failures surface on a later
+	// operation. Reads ignore rules of this mode.
+	FaultWriteErr
 )
+
+// ErrInjectedWrite is the error FaultWriteErr rules inject on writes.
+var ErrInjectedWrite = errors.New("ssp: injected write fault")
 
 // FaultRule matches blobs by namespace and key substring.
 type FaultRule struct {
@@ -85,10 +95,13 @@ func (s *FaultStore) match(ns wire.NS, key string) *FaultRule {
 	return nil
 }
 
-// Get implements BlobStore, applying any matching fault.
+// Get implements BlobStore, applying any matching read fault.
 func (s *FaultStore) Get(ns wire.NS, key string) ([]byte, error) {
 	s.mu.Lock()
 	rule := s.match(ns, key)
+	if rule != nil && rule.Mode == FaultWriteErr {
+		rule = nil // write-path rule: reads pass through
+	}
 	var rollback []byte
 	if rule != nil && rule.Mode == FaultRollback {
 		rollback = s.history[histKey(ns, key)]
@@ -125,9 +138,15 @@ func (s *FaultStore) Get(ns wire.NS, key string) ([]byte, error) {
 	}
 }
 
-// Put implements BlobStore, recording first versions for rollback.
+// Put implements BlobStore, recording first versions for rollback and
+// applying any matching write fault.
 func (s *FaultStore) Put(ns wire.NS, key string, val []byte) error {
 	s.mu.Lock()
+	if r := s.match(ns, key); r != nil && r.Mode == FaultWriteErr {
+		s.triggered++
+		s.mu.Unlock()
+		return ErrInjectedWrite
+	}
 	hk := histKey(ns, key)
 	if _, ok := s.history[hk]; !ok {
 		cp := make([]byte, len(val))

@@ -1,0 +1,221 @@
+package ssp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/sharoes/sharoes/internal/wire"
+)
+
+// TestWriteBehindConcurrentFaulted hammers a WriteBehind layer from many
+// goroutines at once — Put/Get/Delete/BatchPut/List/BatchGet/Barrier over
+// overlapping keys — then arms a FaultWriteErr rule so flushes start
+// failing mid-run, and finally races writers against Close. Contention on
+// the coalescing buffer, the in-flight mirror, and the sticky-error slot
+// is the point; run under -race (make race / CI) to make it a data-race
+// detector, not just a smoke test.
+func TestWriteBehindConcurrentFaulted(t *testing.T) {
+	fs := NewFaultStore(NewMemStore())
+	wb := NewWriteBehind(fs, WriteBehindOptions{
+		MaxItems: 4, // tiny thresholds force constant flush traffic
+		MaxDelay: 100 * time.Microsecond,
+	})
+
+	const (
+		workers = 8
+		rounds  = 60
+		shared  = 8
+	)
+
+	// Phase 1: clean concurrent mixed ops. Every error is a failure.
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				key := fmt.Sprintf("shared/k%d", (w+i)%shared)
+				switch i % 7 {
+				case 0:
+					if err := wb.Put(wire.NSData, key, []byte(key)); err != nil {
+						errs <- fmt.Errorf("put: %w", err)
+						return
+					}
+				case 1:
+					got, err := wb.Get(wire.NSData, key)
+					if err != nil && err != wire.ErrNotFound {
+						errs <- fmt.Errorf("get: %w", err)
+						return
+					}
+					if err == nil && string(got) != key {
+						errs <- fmt.Errorf("get %s returned %q", key, got)
+						return
+					}
+				case 2:
+					if err := wb.Delete(wire.NSData, key); err != nil {
+						errs <- fmt.Errorf("delete: %w", err)
+						return
+					}
+				case 3:
+					if err := wb.BatchPut([]wire.KV{
+						{NS: wire.NSData, Key: key, Val: []byte(key)},
+						{NS: wire.NSMeta, Key: key, Val: []byte("m")},
+					}); err != nil {
+						errs <- fmt.Errorf("batchput: %w", err)
+						return
+					}
+				case 4:
+					if _, err := wb.List(wire.NSData, "shared/"); err != nil {
+						errs <- fmt.Errorf("list: %w", err)
+						return
+					}
+				case 5:
+					if _, err := wb.BatchGet([]wire.KV{{NS: wire.NSData, Key: key}}); err != nil {
+						errs <- fmt.Errorf("batchget: %w", err)
+						return
+					}
+				default:
+					if err := wb.Barrier(); err != nil {
+						errs <- fmt.Errorf("barrier: %w", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := wb.Barrier(); err != nil {
+		t.Fatalf("barrier after clean phase: %v", err)
+	}
+
+	// Phase 2: arm a write fault on poison/ keys while writers and
+	// barriers keep running. The injected error surfaces asynchronously —
+	// from whichever Put/Barrier happens to collect the sticky flush
+	// error — so any op may legitimately return ErrInjectedWrite.
+	fs.AddRule(FaultRule{Mode: FaultWriteErr, NS: wire.NSData, KeyPart: "poison/"})
+	var injected atomic.Int64
+	errs = make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				key := fmt.Sprintf("poison/k%d", (w+i)%shared)
+				var err error
+				switch i % 3 {
+				case 0:
+					err = wb.Put(wire.NSData, key, []byte(key))
+				case 1:
+					err = wb.Barrier()
+				default:
+					_, err = wb.Get(wire.NSData, key)
+					if err == wire.ErrNotFound {
+						err = nil
+					}
+				}
+				if err != nil && !errors.Is(err, ErrInjectedWrite) {
+					errs <- fmt.Errorf("faulted phase op %d: %w", i, err)
+					return
+				}
+				if err != nil {
+					injected.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if injected.Load() == 0 {
+		t.Fatal("write fault armed but no operation ever surfaced ErrInjectedWrite")
+	}
+	if fs.Triggered() == 0 {
+		t.Fatal("write fault armed but FaultStore never triggered")
+	}
+
+	// Phase 3: disarm and drain. The buffer may still hold poison keys
+	// (they flush fine now) and the sticky error from the last failed
+	// flush may still be parked; a bounded number of barriers clears both.
+	fs.ClearRules()
+	drained := false
+	for i := 0; i < 10; i++ {
+		err := wb.Barrier()
+		if err == nil {
+			drained = true
+			break
+		}
+		if !errors.Is(err, ErrInjectedWrite) {
+			t.Fatalf("draining barrier: %v", err)
+		}
+	}
+	if !drained {
+		t.Fatal("sticky injected error never drained after rules were cleared")
+	}
+
+	// Durability probe: a post-drain write must reach the inner store.
+	if err := wb.Put(wire.NSData, "sentinel", []byte("alive")); err != nil {
+		t.Fatalf("sentinel put: %v", err)
+	}
+	if err := wb.Barrier(); err != nil {
+		t.Fatalf("sentinel barrier: %v", err)
+	}
+	if got, err := fs.Get(wire.NSData, "sentinel"); err != nil || string(got) != "alive" {
+		t.Fatalf("sentinel not flushed to inner store: %q, %v", got, err)
+	}
+
+	// Phase 4: race writers against Close. Operations that lose the race
+	// get ErrShutdown; nothing may panic or deadlock, and Close must stay
+	// idempotent.
+	errs = make(chan error, workers+1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				key := fmt.Sprintf("close/k%d", (w+i)%shared)
+				var err error
+				switch i % 3 {
+				case 0:
+					err = wb.Put(wire.NSData, key, []byte(key))
+				case 1:
+					_, err = wb.Get(wire.NSData, key)
+					if err == wire.ErrNotFound {
+						err = nil
+					}
+				default:
+					err = wb.Barrier()
+				}
+				if err != nil && !errors.Is(err, ErrShutdown) {
+					errs <- fmt.Errorf("close-race op %d: %w", i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := wb.Close(); err != nil {
+			errs <- fmt.Errorf("close: %w", err)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := wb.Close(); err != nil {
+		t.Fatalf("second close not idempotent: %v", err)
+	}
+}
