@@ -16,11 +16,12 @@ FUZZ_TARGETS := \
 	./internal/meta:FuzzDecodeManifest \
 	./internal/meta:FuzzDecodeSuperblock \
 	./internal/meta:FuzzDecodeSplitPointer \
-	./internal/cap:FuzzOpenView
+	./internal/cap:FuzzOpenView \
+	./internal/analysis:FuzzParseAllowDirective
 
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet vet-self vet-json race fuzz-smoke bench-compare check
+.PHONY: all build test vet vet-self vet-json vet-baseline vet-diff race fuzz-smoke bench-compare check
 
 all: build
 
@@ -32,19 +33,34 @@ test:
 
 # vet = the stock toolchain vet plus the repo's own invariant analyzers:
 # six security analyzers (key leaks, AAD binding, seeded randomness,
-# error hygiene, untrusted-input verification, key egress) and four
+# error hygiene, untrusted-input verification, key egress), four
 # concurrency analyzers (lock ordering, lock balance, goroutine leaks,
-# atomic/plain mixed access).
-vet:
+# atomic/plain mixed access), and three error-propagation/lifecycle
+# analyzers (errdrop, errwrap, resleak). Runs in baseline-diff mode:
+# only findings absent from the committed vet-baseline.json fail the
+# build, so legacy debt never blocks unrelated work. Warm runs replay
+# unchanged packages from .vet-cache.
+vet: vet-diff
 	$(GO) vet ./...
-	$(GO) run ./cmd/sharoes-vet ./...
 
-# vet-self runs all ten sharoes-vet analyzers over the whole module and
-# fails on any unsuppressed finding (exit 1) or load error (exit 2).
-# Bare //sharoes-vet:allow directives (no justification) are findings.
-# See docs/ANALYZERS.md for the analyzer tables and allow conventions.
+# vet-self runs all thirteen sharoes-vet analyzers over the whole module
+# and fails on ANY unsuppressed finding (exit 1) or load error (exit 2),
+# ignoring the baseline. Bare //sharoes-vet:allow directives (no
+# justification) are findings. See docs/ANALYZERS.md for the analyzer
+# tables and allow conventions.
 vet-self:
 	$(GO) run ./cmd/sharoes-vet ./...
+
+# vet-baseline regenerates the committed baseline. Run it after fixing
+# or deliberately accepting findings, and commit the result.
+vet-baseline:
+	$(GO) run ./cmd/sharoes-vet -write-baseline vet-baseline.json ./...
+
+# vet-diff gates on NEW findings only: exit 1 iff the current tree has
+# findings not present in vet-baseline.json (line drift is ignored; the
+# diff matches on analyzer+file+message).
+vet-diff:
+	$(GO) run ./cmd/sharoes-vet -baseline vet-baseline.json ./...
 
 # vet-json emits the machine-readable report CI archives as an artifact:
 # {"findings": [...], "allows": {analyzer: count}}.

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -83,8 +84,7 @@ func main() {
 			return err
 		}
 		if err := workload.WriteReport(f, rep); err != nil {
-			f.Close()
-			return err
+			return errors.Join(err, f.Close())
 		}
 		return f.Close()
 	}
@@ -177,14 +177,14 @@ func main() {
 // captureTrace runs a traced SHAROES Create-and-List and exports the
 // client and SSP span sets as one Chrome trace_event document; the SSP
 // spans join the client traces through the wire trace IDs.
-func captureTrace(path string, opts workload.FigureOptions) error {
+func captureTrace(path string, opts workload.FigureOptions) (err error) {
 	o := opts.Options
 	o.Trace = true
 	sys, err := workload.Build(workload.SysSharoes, o)
 	if err != nil {
 		return err
 	}
-	defer sys.Close()
+	defer func() { err = errors.Join(err, sys.Close()) }()
 	cfg := workload.PaperCreateList.Scaled(opts.Scale)
 	if _, err := workload.CreateList(sys.FS, sys.Rec, cfg); err != nil {
 		return err
@@ -194,8 +194,7 @@ func captureTrace(path string, opts workload.FigureOptions) error {
 		return err
 	}
 	if err := obs.WriteChromeTrace(f, sys.Tracer.Spans(), sys.ServerTracer.Spans()); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	return f.Close()
 }

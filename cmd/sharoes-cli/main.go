@@ -95,7 +95,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("mount: %v", err)
 	}
-	defer fs.Close()
+	defer func() {
+		// The session flushes on close; a failed flush is lost work.
+		if err := fs.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+	}()
 
 	if err := dispatch(fs, args); err != nil {
 		log.Fatal(err)

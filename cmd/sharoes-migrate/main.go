@@ -134,7 +134,11 @@ func run(args []string) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer client.Close()
+		defer func() {
+			if err := client.Close(); err != nil {
+				log.Printf("ssp close: %v", err)
+			}
+		}()
 		store = client
 	case *storeDir != "":
 		ds, err := ssp.NewDiskStore(*storeDir)

@@ -71,7 +71,9 @@ func main() {
 	go func() {
 		<-done
 		fmt.Fprintf(os.Stderr, "sharoes-ssp: draining (grace %v)\n", *grace)
-		server.Shutdown(*grace)
+		if err := server.Shutdown(*grace); err != nil {
+			fmt.Fprintf(os.Stderr, "sharoes-ssp: shutdown: %v\n", err)
+		}
 		fmt.Fprintln(os.Stderr, "sharoes-ssp: final metrics snapshot:")
 		if err := reg.WriteJSON(os.Stderr); err != nil {
 			fmt.Fprintf(os.Stderr, "sharoes-ssp: metrics flush: %v\n", err)

@@ -5,18 +5,30 @@
 //	sharoes-vet ./internal/ssp        # one package
 //	sharoes-vet -list                 # describe the analyzers + allow counts
 //	sharoes-vet -json ./...           # machine-readable findings
+//	sharoes-vet -baseline vet-baseline.json ./...   # gate on NEW findings
+//	sharoes-vet -write-baseline vet-baseline.json ./...
 //
-// Packages load and type-check concurrently on a bounded worker pool in
-// dependency order; analyzer runs stay sequential and deterministic.
+// Runs are incremental: each package's findings are cached on disk
+// (default <module>/.vet-cache, override with -cache-dir, disable with
+// -no-cache) keyed by a content hash of the package files, its
+// module-internal dependency closure, and the analyzer-suite version. A
+// warm run over an unchanged tree hashes files and replays summaries —
+// no parsing, no type-checking. Only cache-miss packages are loaded and
+// analyzed (concurrently, on a bounded worker pool in dependency
+// order); analyzer runs stay sequential and deterministic.
 //
-// It prints findings in file:line:col form. With -json it prints one
-// object: {"findings": [{analyzer, file, line, col, message}, ...],
-// "allows": {analyzer: count, ...}}, where allows tallies the justified
-// //sharoes-vet:allow directives in the analyzed packages. -list appends
-// each analyzer's allow count over the same package patterns. Exits:
+// It prints findings in file:line:col form (module-root-relative). With
+// -json it prints one object: {"findings": [{analyzer, file, line, col,
+// message}, ...], "allows": {analyzer: count, ...}}. With -baseline the
+// report is compared against a committed baseline and only findings
+// absent from the baseline fail the run, so legacy debt is tracked
+// without blocking CI; -diff-out writes the {"new": [...], "fixed":
+// [...]} comparison for the CI artifact. -metrics dumps the tool's own
+// obs registry (load/keys/analyzer timings, cache hits/misses) as JSON.
+// Exits:
 //
-//	0  clean tree
-//	1  at least one unsuppressed finding
+//	0  clean tree (or -baseline run with no new findings)
+//	1  at least one unsuppressed finding (new finding under -baseline)
 //	2  usage or load/type-check error
 package main
 
@@ -25,9 +37,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"github.com/sharoes/sharoes/internal/analysis"
+	"github.com/sharoes/sharoes/internal/obs"
 )
 
 // Exit codes, part of the tool's contract with CI and editors.
@@ -37,25 +53,16 @@ const (
 	exitError    = 2
 )
 
-// jsonFinding is the -json output shape for one finding.
-type jsonFinding struct {
-	Analyzer string `json:"analyzer"`
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
-	Message  string `json:"message"`
-}
-
-// jsonReport is the -json output document.
-type jsonReport struct {
-	Findings []jsonFinding  `json:"findings"`
-	Allows   map[string]int `json:"allows"`
-}
-
 func main() {
 	list := flag.Bool("list", false, "list the analyzers (with allow counts) and exit")
 	only := flag.String("run", "", "comma-separated analyzer names to run (default all)")
 	asJSON := flag.Bool("json", false, "print a JSON report on stdout")
+	cacheDir := flag.String("cache-dir", "", "summary cache directory (default <module>/.vet-cache)")
+	noCache := flag.Bool("no-cache", false, "disable the summary cache (always cold)")
+	baseline := flag.String("baseline", "", "compare against this committed baseline; exit 1 only on NEW findings")
+	writeBaseline := flag.String("write-baseline", "", "write the current report to this file and exit 0")
+	diffOut := flag.String("diff-out", "", "with -baseline: write the {new, fixed} diff JSON to this file")
+	metricsOut := flag.String("metrics", "", "write the tool's own obs metrics JSON to this file")
 	flag.Parse()
 
 	analyzers := analysis.Analyzers()
@@ -87,6 +94,7 @@ func main() {
 		analyzers = sel
 	}
 
+	reg := obs.NewRegistry()
 	dirs := expandOrDie(flag.Args())
 	cwd, err := os.Getwd()
 	if err != nil {
@@ -96,44 +104,184 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pkgs, err := loader.LoadAll(dirs)
-	if err != nil {
-		fatal(err)
+
+	// The cache key is salted with the selected analyzer names, so a
+	// -run subset never replays (or pollutes) full-suite summaries.
+	salt := strings.Join(analyzerNames(analyzers), ",")
+	var cache *analysis.SummaryCache
+	keys := make(map[string]string)
+	if !*noCache {
+		dir := *cacheDir
+		if dir == "" {
+			dir = filepath.Join(loader.ModRoot, ".vet-cache")
+		}
+		cache, err = analysis.OpenSummaryCache(dir)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		keys, err = loader.PackageKeys(dirs, salt)
+		if err != nil {
+			fatal(err)
+		}
+		reg.Histogram("vet.keys.ns").Observe(time.Since(start))
 	}
 
-	var all []analysis.Finding
-	for _, pkg := range pkgs {
-		all = append(all, analysis.Run(pkg, analyzers)...)
+	// Replay cache hits; collect misses for the real load.
+	report := analysis.Report{Allows: make(map[string]int)}
+	var missDirs []string
+	for _, dir := range dirs {
+		if cache != nil {
+			if e, ok := cache.Get(keys[dir]); ok {
+				reg.Counter("vet.cache.hits").Inc()
+				report.Findings = append(report.Findings, e.Findings...)
+				for k, v := range e.Allows {
+					report.Allows[k] += v
+				}
+				continue
+			}
+			reg.Counter("vet.cache.misses").Inc()
+		}
+		missDirs = append(missDirs, dir)
+	}
+
+	if len(missDirs) > 0 {
+		start := time.Now()
+		pkgs, err := loader.LoadAll(missDirs)
+		if err != nil {
+			fatal(err)
+		}
+		reg.Histogram("vet.load.ns").Observe(time.Since(start))
+		for i, pkg := range pkgs {
+			findings := analysis.RunInstrumented(pkg, analyzers, reg)
+			allows := analysis.AllowCounts(pkg)
+			pkgReport := analysis.NewReport(findings, allows, loader.ModRoot)
+			report.Findings = append(report.Findings, pkgReport.Findings...)
+			for k, v := range allows {
+				report.Allows[k] += v
+			}
+			if cache != nil {
+				entry := &analysis.CacheEntry{
+					Key:      keys[missDirs[i]],
+					Path:     pkg.Path,
+					Findings: pkgReport.Findings,
+					Allows:   allows,
+				}
+				if err := cache.Put(entry); err != nil {
+					// A failed store degrades to a cold next run; say so
+					// but do not fail the analysis.
+					fmt.Fprintln(os.Stderr, "sharoes-vet: cache store:", err)
+				}
+			}
+		}
+	}
+	report.Sort()
+	reg.Gauge("vet.packages").Set(int64(len(dirs)))
+
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, reg); err != nil {
+			fatal(err)
+		}
+	}
+	if *writeBaseline != "" {
+		b, err := report.Marshal()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*writeBaseline, b, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sharoes-vet: baseline written to %s (%d findings)\n",
+			*writeBaseline, len(report.Findings))
+		os.Exit(exitClean)
+	}
+
+	if *baseline != "" {
+		os.Exit(runDiff(report, *baseline, *diffOut, *asJSON))
 	}
 
 	if *asJSON {
-		report := jsonReport{
-			Findings: make([]jsonFinding, 0, len(all)),
-			Allows:   analysis.ScanAllowCounts(dirs),
-		}
-		for _, f := range all {
-			report.Findings = append(report.Findings, jsonFinding{
-				Analyzer: f.Analyzer,
-				File:     f.Pos.Filename,
-				Line:     f.Pos.Line,
-				Col:      f.Pos.Column,
-				Message:  f.Message,
-			})
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(report); err != nil {
-			fatal(err)
-		}
+		printJSON(report)
 	} else {
-		for _, f := range all {
+		for _, f := range report.Findings {
 			fmt.Println(f)
 		}
 	}
-	if len(all) > 0 {
+	if len(report.Findings) > 0 {
 		os.Exit(exitFindings)
 	}
 	os.Exit(exitClean)
+}
+
+// runDiff compares the report against the committed baseline and
+// returns the exit code: findings already in the baseline are legacy
+// debt (reported, not fatal); new findings gate.
+func runDiff(report analysis.Report, baselinePath, diffOut string, asJSON bool) int {
+	b, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := analysis.ParseReport(b)
+	if err != nil {
+		fatal(err)
+	}
+	newFindings, fixed := analysis.DiffReports(base, report)
+	if diffOut != "" {
+		doc := struct {
+			New   []analysis.ReportFinding `json:"new"`
+			Fixed []analysis.ReportFinding `json:"fixed"`
+		}{New: orEmpty(newFindings), Fixed: orEmpty(fixed)}
+		out, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(diffOut, append(out, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if asJSON {
+		printJSON(report)
+	} else {
+		for _, f := range newFindings {
+			fmt.Println(f)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sharoes-vet: baseline %s: %d new, %d fixed, %d legacy\n",
+		baselinePath, len(newFindings), len(fixed), len(report.Findings)-len(newFindings))
+	if len(newFindings) > 0 {
+		return exitFindings
+	}
+	return exitClean
+}
+
+func printJSON(report analysis.Report) {
+	report.Findings = orEmpty(report.Findings)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fatal(err)
+	}
+}
+
+// orEmpty keeps JSON arrays as [] instead of null.
+func orEmpty(fs []analysis.ReportFinding) []analysis.ReportFinding {
+	if fs == nil {
+		return []analysis.ReportFinding{}
+	}
+	return fs
+}
+
+// writeMetrics dumps the registry snapshot as JSON.
+func writeMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		_ = f.Close() //sharoes-vet:allow errdrop the write error is already being returned; close is cleanup on a failed dump
+		return err
+	}
+	return f.Close()
 }
 
 // expandOrDie resolves package patterns (default ./...) to directories.
@@ -149,6 +297,7 @@ func expandOrDie(patterns []string) []string {
 	if err != nil {
 		fatal(err)
 	}
+	sort.Strings(dirs)
 	return dirs
 }
 

@@ -26,8 +26,8 @@ func main() {
 	store := sharoes.NewMemStore()
 	server := sharoes.NewServer(store)
 	lis := sharoes.ListenSim(sharoes.ProfileDSL)
-	go server.Serve(lis)
-	defer server.Close()
+	go func() { check(server.Serve(lis)) }() // Serve returns nil on clean Close
+	defer func() { check(server.Close()) }()
 
 	// 3. Transition: create the filesystem. The migration tool writes
 	//    the namespace root and seals a superblock for every user.

@@ -44,6 +44,9 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
+
+	"github.com/sharoes/sharoes/internal/obs"
 )
 
 // Finding is one invariant violation.
@@ -84,6 +87,7 @@ func Analyzers() []Analyzer {
 	return []Analyzer{
 		KeyLeak{}, AADBind{}, RawRand{}, ErrString{}, Unverified{}, KeyEgress{},
 		LockOrder{}, LockBalance{}, GoLeak{}, AtomicMix{},
+		ErrDrop{}, ErrWrap{}, ResLeak{},
 	}
 }
 
@@ -92,10 +96,20 @@ func Analyzers() []Analyzer {
 // justification suppress nothing and are themselves reported as
 // findings: an unexplained suppression is a finding someone buried.
 func Run(p *Package, analyzers []Analyzer) []Finding {
+	return RunInstrumented(p, analyzers, nil)
+}
+
+// RunInstrumented is Run with per-analyzer wall-time recorded into reg
+// as vet.analyzer.<name>.ns histograms (reg may be nil — the obs
+// handles are nil-safe, so the uninstrumented path pays nothing).
+func RunInstrumented(p *Package, analyzers []Analyzer, reg *obs.Registry) []Finding {
 	allow, bare := collectAllowances(p)
 	out := bare
 	for _, a := range analyzers {
-		for _, f := range a.Check(p) {
+		start := time.Now()
+		findings := a.Check(p)
+		reg.Histogram("vet.analyzer." + a.Name() + ".ns").Observe(time.Since(start))
+		for _, f := range findings {
 			if allow.covers(f.Pos.Filename, f.Pos.Line, a.Name()) {
 				continue
 			}

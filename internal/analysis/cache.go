@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// This file is the incremental-run machinery: a per-package summary
+// cache keyed by the content of the package, its module-internal
+// dependency closure, and the analyzer-suite version. A warm run over an
+// unchanged tree does no parsing and no type-checking — it hashes files
+// and replays stored findings, which is what keeps sharoes-vet cheap
+// enough to run on every commit as the tree grows.
+
+// SuiteVersion salts every cache key. Bump it whenever an analyzer's
+// semantics change, so stale summaries can never mask a new rule.
+const SuiteVersion = "sharoes-vet-suite-v7"
+
+// PackageKeys computes the cache key for every requested package
+// directory: a content hash over the suite version, the extra salt (the
+// selected analyzer names), the package's import path and file contents,
+// and — transitively — the keys of its module-internal imports, since
+// analyzers consult dependency type information. Returned map is keyed
+// by the absolute package directory.
+func (l *Loader) PackageKeys(dirs []string, salt string) (map[string]string, error) {
+	nodes, err := l.discover(dirs)
+	if err != nil {
+		return nil, err
+	}
+	memo := make(map[string]string, len(nodes))
+	onStack := make(map[string]bool)
+	var keyOf func(path string) (string, error)
+	keyOf = func(path string) (string, error) {
+		if k, ok := memo[path]; ok {
+			return k, nil
+		}
+		if onStack[path] {
+			return "", fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		onStack[path] = true
+		defer delete(onStack, path)
+		n := nodes[path]
+		h := sha256.New()
+		fmt.Fprintf(h, "%s\x00%s\x00%s\x00", SuiteVersion, salt, path)
+		names, err := goFileNames(n.dir)
+		if err != nil {
+			return "", fmt.Errorf("analysis: %s: %w", path, err)
+		}
+		for _, name := range names {
+			b, err := os.ReadFile(filepath.Join(n.dir, name))
+			if err != nil {
+				return "", fmt.Errorf("analysis: %s: %w", path, err)
+			}
+			fmt.Fprintf(h, "%s\x00%d\x00", name, len(b))
+			h.Write(b)
+		}
+		deps := append([]string(nil), n.deps...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			if _, known := nodes[d]; !known {
+				continue
+			}
+			dk, err := keyOf(d)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(h, "dep\x00%s\x00%s\x00", d, dk)
+		}
+		k := hex.EncodeToString(h.Sum(nil))
+		memo[path] = k
+		return k, nil
+	}
+	out := make(map[string]string, len(dirs))
+	for _, dir := range dirs {
+		path, abs, err := l.dirToPath(dir)
+		if err != nil {
+			return nil, err
+		}
+		k, err := keyOf(path)
+		if err != nil {
+			return nil, err
+		}
+		out[abs] = k
+	}
+	return out, nil
+}
+
+// CacheEntry is one package's stored analysis result. Findings are in
+// portable (module-root-relative) form so a cache restored on another
+// machine replays cleanly.
+type CacheEntry struct {
+	Key      string          `json:"key"`
+	Path     string          `json:"path"` // import path, for humans
+	Findings []ReportFinding `json:"findings"`
+	Allows   map[string]int  `json:"allows"`
+}
+
+// SummaryCache is the on-disk store, one JSON file per key.
+type SummaryCache struct {
+	dir string
+}
+
+// OpenSummaryCache creates (if needed) and opens a cache directory.
+func OpenSummaryCache(dir string) (*SummaryCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("analysis: open cache: %w", err)
+	}
+	return &SummaryCache{dir: dir}, nil
+}
+
+// Dir returns the cache directory, so callers can report or prune it.
+func (c *SummaryCache) Dir() string { return c.dir }
+
+// Get returns the entry stored under key, if present and well-formed.
+// Corrupt or mismatched entries are treated as misses, never as errors:
+// the cache is always safe to blow away.
+func (c *SummaryCache) Get(key string) (*CacheEntry, bool) {
+	b, err := os.ReadFile(c.entryPath(key))
+	if err != nil {
+		return nil, false
+	}
+	var e CacheEntry
+	if err := json.Unmarshal(b, &e); err != nil || e.Key != key {
+		return nil, false
+	}
+	if e.Allows == nil {
+		e.Allows = make(map[string]int)
+	}
+	return &e, true
+}
+
+// Put stores an entry atomically (write + rename), so a crashed run
+// never leaves a torn file behind.
+func (c *SummaryCache) Put(e *CacheEntry) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	dst := c.entryPath(e.Key)
+	tmp := dst + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("analysis: write cache entry: %w", err)
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		return fmt.Errorf("analysis: commit cache entry: %w", err)
+	}
+	return nil
+}
+
+func (c *SummaryCache) entryPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}

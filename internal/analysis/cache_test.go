@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeMod lays out a throwaway two-package module and returns its
+// root. pkg a imports pkg b, so a's cache key must depend on b's bytes.
+func writeMod(t *testing.T, bBody string) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module example.com/tmp\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nimport \"example.com/tmp/b\"\n\nfunc A() int { return b.B() }\n",
+		"b/b.go": bBody,
+	}
+	for name, body := range files {
+		p := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const bV1 = "package b\n\nfunc B() int { return 1 }\n"
+const bV2 = "package b\n\nfunc B() int { return 2 }\n"
+
+func modKeys(t *testing.T, root, salt string) map[string]string {
+	t.Helper()
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	keys, err := l.PackageKeys([]string{filepath.Join(root, "a"), filepath.Join(root, "b")}, salt)
+	if err != nil {
+		t.Fatalf("PackageKeys: %v", err)
+	}
+	return keys
+}
+
+// TestPackageKeysStable pins that keys are a pure function of file
+// bytes and salt: same tree, same keys.
+func TestPackageKeysStable(t *testing.T) {
+	root := writeMod(t, bV1)
+	k1 := modKeys(t, root, "errdrop")
+	k2 := modKeys(t, root, "errdrop")
+	if len(k1) != 2 {
+		t.Fatalf("got %d keys, want 2: %v", len(k1), k1)
+	}
+	for dir, key := range k1 {
+		if k2[dir] != key {
+			t.Errorf("%s: key changed across identical runs: %s vs %s", dir, key, k2[dir])
+		}
+	}
+}
+
+// TestPackageKeysDepInvalidation pins the transitive property: editing
+// b changes b's key AND a's key, because a imports b.
+func TestPackageKeysDepInvalidation(t *testing.T) {
+	root := writeMod(t, bV1)
+	before := modKeys(t, root, "errdrop")
+	if err := os.WriteFile(filepath.Join(root, "b", "b.go"), []byte(bV2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	after := modKeys(t, root, "errdrop")
+	aDir, bDir := filepath.Join(root, "a"), filepath.Join(root, "b")
+	if before[bDir] == after[bDir] {
+		t.Errorf("b: key unchanged after edit")
+	}
+	if before[aDir] == after[aDir] {
+		t.Errorf("a: key unchanged after editing its dependency b")
+	}
+}
+
+// TestPackageKeysSalt pins that the analyzer selection is part of the
+// key, so switching -run invalidates cached summaries.
+func TestPackageKeysSalt(t *testing.T) {
+	root := writeMod(t, bV1)
+	k1 := modKeys(t, root, "errdrop")
+	k2 := modKeys(t, root, "errdrop,resleak")
+	for dir := range k1 {
+		if k1[dir] == k2[dir] {
+			t.Errorf("%s: key identical across different salts", dir)
+		}
+	}
+}
+
+// TestSummaryCacheRoundTrip pins Get/Put semantics: a stored entry
+// comes back intact, a different key misses, and a corrupt file is a
+// miss rather than an error.
+func TestSummaryCacheRoundTrip(t *testing.T) {
+	c, err := OpenSummaryCache(filepath.Join(t.TempDir(), "vc"))
+	if err != nil {
+		t.Fatalf("OpenSummaryCache: %v", err)
+	}
+	ent := CacheEntry{
+		Key:  "abc123",
+		Path: "github.com/sharoes/sharoes/internal/wire",
+		Findings: []ReportFinding{
+			{Analyzer: "errdrop", File: "internal/wire/wire.go", Line: 7, Col: 2, Message: "m"},
+		},
+		Allows: map[string]int{"errdrop": 1},
+	}
+	if err := c.Put(&ent); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := c.Get("abc123")
+	if !ok {
+		t.Fatal("Get: miss after Put")
+	}
+	if got.Path != ent.Path || len(got.Findings) != 1 || got.Findings[0] != ent.Findings[0] || got.Allows["errdrop"] != 1 {
+		t.Fatalf("Get: round-trip mismatch: %+v", got)
+	}
+	if _, ok := c.Get("other"); ok {
+		t.Fatal("Get: hit on a key that was never stored")
+	}
+	if err := os.WriteFile(filepath.Join(c.Dir(), "bad1.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("bad1"); ok {
+		t.Fatal("Get: corrupt entry should miss, not hit")
+	}
+}

@@ -766,7 +766,7 @@ func (w *concWalker) walkCall(st *lockState, call *ast.CallExpr) {
 
 	fn := resolvedCallee(w.e.p.Info, call)
 	if fn != nil {
-		if w.isTerminator(fn) {
+		if isTerminatorFunc(fn) {
 			st.dead = true
 			return
 		}
@@ -973,9 +973,10 @@ func (w *concWalker) isAtomicCall(call *ast.CallExpr) bool {
 	return ok && sig.Recv() == nil
 }
 
-// isTerminator reports callees that end the goroutine: the path needs
-// no balance checking past them.
-func (w *concWalker) isTerminator(fn *types.Func) bool {
+// isTerminatorFunc reports callees that end the goroutine: the path
+// needs no balance (or obligation) checking past them. Shared by the
+// concurrency walker and resleak's lifecycle walker.
+func isTerminatorFunc(fn *types.Func) bool {
 	if fn.Pkg() == nil {
 		return fn.Name() == "panic"
 	}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestErrDrop pins the nine ways errdropbad loses fault-relevant
+// errors, in source order, and that the handled forms stay quiet.
+func TestErrDrop(t *testing.T) {
+	bad := runOne(t, ErrDrop{}, "errdropbad/internal/client")
+	if len(bad) != 9 {
+		t.Fatalf("errdropbad: got %d findings, want 9:\n%s", len(bad), findingsText(bad))
+	}
+	wantSubstr := []string{
+		"ssp.Put error discarded;",
+		"ssp.Put error discarded via _",
+		"ssp.Get error discarded via _",
+		"deferred ssp.Close discards its error",
+		"ssp.Flush error lost in goroutine",
+		"ssp.Put error assigned to err but never read",
+		"flushAll error discarded",
+		"os.File.Write error discarded",
+		"os.File.Close on a write path error discarded",
+	}
+	for i, f := range bad {
+		if f.Analyzer != "errdrop" {
+			t.Errorf("finding %d: analyzer %q", i, f.Analyzer)
+		}
+		if !strings.Contains(f.Message, wantSubstr[i]) {
+			t.Errorf("finding %d: message %q does not mention %q", i, f.Message, wantSubstr[i])
+		}
+	}
+	if good := runOne(t, ErrDrop{}, "errdropgood/internal/client"); len(good) != 0 {
+		t.Fatalf("errdropgood: unexpected findings:\n%s", findingsText(good))
+	}
+}
+
+// TestErrDropAllowSuppression proves the errdropgood waiver is doing
+// real work: the raw analyzer flags the allowed Flush discard, and Run
+// suppresses it because the directive carries a justification.
+func TestErrDropAllowSuppression(t *testing.T) {
+	p := fixturePkg(t, "errdropgood/internal/client")
+	raw := ErrDrop{}.Check(p)
+	if len(raw) != 1 || !strings.Contains(raw[0].Message, "ssp.Flush error discarded") {
+		t.Fatalf("raw check: got %d findings, want exactly the allowed Flush discard:\n%s",
+			len(raw), findingsText(raw))
+	}
+	if got := Run(p, []Analyzer{ErrDrop{}}); len(got) != 0 {
+		t.Fatalf("Run should suppress the justified allow:\n%s", findingsText(got))
+	}
+	if counts := AllowCounts(p); counts["errdrop"] != 1 {
+		t.Fatalf("AllowCounts[errdrop] = %d, want 1 (map: %v)", counts["errdrop"], counts)
+	}
+}
+
+// TestErrWrap pins the five identity-flattening shapes and the clean
+// wrapping idioms.
+func TestErrWrap(t *testing.T) {
+	bad := runOne(t, ErrWrap{}, "errwrapbad")
+	if len(bad) != 5 {
+		t.Fatalf("errwrapbad: got %d findings, want 5:\n%s", len(bad), findingsText(bad))
+	}
+	wantSubstr := []string{
+		"error formatted with %v",
+		"error formatted with %s",
+		"err.Error() inside an error constructor",
+		"err.Error() inside an error constructor",
+		"error formatted with %v",
+	}
+	for i, f := range bad {
+		if f.Analyzer != "errwrap" {
+			t.Errorf("finding %d: analyzer %q", i, f.Analyzer)
+		}
+		if !strings.Contains(f.Message, wantSubstr[i]) {
+			t.Errorf("finding %d: message %q does not mention %q", i, f.Message, wantSubstr[i])
+		}
+	}
+	if good := runOne(t, ErrWrap{}, "errwrapgood"); len(good) != 0 {
+		t.Fatalf("errwrapgood: unexpected findings:\n%s", findingsText(good))
+	}
+}
+
+// TestResLeak pins the three path-sensitive leaks — early error return,
+// failure return before End, branch-local Close — and that release,
+// transfer, and guard idioms all discharge the obligation.
+func TestResLeak(t *testing.T) {
+	bad := runOne(t, ResLeak{}, "resleakbad/internal/client")
+	if len(bad) != 3 {
+		t.Fatalf("resleakbad: got %d findings, want 3:\n%s", len(bad), findingsText(bad))
+	}
+	wantSubstr := []string{
+		`ssp.Client "c" is not released on the path leaving at line 20`,
+		`ssp.Span "sp" is not released on the path leaving at line 29`,
+		`ssp.Client "c" is not released on the path leaving at line 45`,
+	}
+	for i, f := range bad {
+		if f.Analyzer != "resleak" {
+			t.Errorf("finding %d: analyzer %q", i, f.Analyzer)
+		}
+		if !strings.Contains(f.Message, wantSubstr[i]) {
+			t.Errorf("finding %d: message %q does not mention %q", i, f.Message, wantSubstr[i])
+		}
+	}
+	if good := runOne(t, ResLeak{}, "resleakgood/internal/client"); len(good) != 0 {
+		t.Fatalf("resleakgood: unexpected findings:\n%s", findingsText(good))
+	}
+}
+
+// TestErrPropCleanTree runs the three new analyzers over every real
+// package in the module; any finding here means a regression slipped
+// into the tree (or a new finding needs a fix or a justified allow).
+func TestErrPropCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	loaderOnce.Do(func() { loader, loaderErr = NewLoader(".") })
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	dirs, err := ExpandPatterns("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("ExpandPatterns: %v", err)
+	}
+	pkgs, err := loader.LoadAll(dirs)
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	for _, p := range pkgs {
+		got := Run(p, []Analyzer{ErrDrop{}, ErrWrap{}, ResLeak{}})
+		if len(got) != 0 {
+			t.Errorf("%s: unexpected findings:\n%s", p.Path, findingsText(got))
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap reports error construction that destroys errors.Is identity.
+// The retry and fault-injection machinery (netsim's FaultWriteErr, the
+// WriteBehind sticky error, ssp's sentinel errors) matches failures with
+// errors.Is; an error rebuilt with fmt.Errorf("...: %v", err) or
+// errors.New(err.Error()) silently breaks every such match across the
+// package boundary it crosses. Wrap with %w, or return the sentinel
+// as-is.
+type ErrWrap struct{}
+
+func (ErrWrap) Name() string { return "errwrap" }
+func (ErrWrap) Doc() string {
+	return "errors must be wrapped with %w (not %v/%s or .Error()) so errors.Is identity survives the package boundary"
+}
+
+func (ErrWrap) Check(p *Package) []Finding {
+	if p.Info == nil {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := resolvedCallee(p.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+				out = append(out, checkErrorf(p, call)...)
+				out = append(out, checkErrorCalls(p, call)...)
+			case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+				out = append(out, checkErrorCalls(p, call)...)
+			}
+			return true
+		})
+	}
+	return sortFindings(out)
+}
+
+// checkErrorf matches format verbs against error-typed operands: an
+// error bound to %v, %s or %q (anything but %w) loses its identity.
+func checkErrorf(p *Package, call *ast.CallExpr) []Finding {
+	if len(call.Args) < 2 {
+		return nil
+	}
+	format, ok := constStringValue(p.Info, call.Args[0])
+	if !ok {
+		return nil
+	}
+	verbs := formatVerbs(format)
+	var out []Finding
+	for i, verb := range verbs {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) {
+			break
+		}
+		switch verb {
+		case 'w', '*', 'T', 'p', 0:
+			continue // %w is correct; width/type/pointer verbs are deliberate
+		}
+		arg := call.Args[argIdx]
+		if !isErrorish(p.Info.TypeOf(arg)) {
+			continue
+		}
+		out = append(out, Finding{
+			Analyzer: "errwrap",
+			Pos:      p.Fset.Position(arg.Pos()),
+			Message: "error formatted with %" + string(verb) +
+				" loses errors.Is identity; wrap with %w or return the sentinel as-is",
+		})
+	}
+	return out
+}
+
+// checkErrorCalls flags err.Error() feeding an error constructor: the
+// resulting error is a plain string with no chain.
+func checkErrorCalls(p *Package, call *ast.CallExpr) []Finding {
+	var out []Finding
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(inner.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Error" || len(inner.Args) != 0 {
+				return true
+			}
+			if !isErrorish(p.Info.TypeOf(sel.X)) {
+				return true
+			}
+			out = append(out, Finding{
+				Analyzer: "errwrap",
+				Pos:      p.Fset.Position(inner.Pos()),
+				Message:  "err.Error() inside an error constructor flattens the chain; wrap the error with %w instead",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// isErrorish reports whether t is the error interface or implements it
+// (directly or through a pointer receiver).
+func isErrorish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isErrorType(t) {
+		return true
+	}
+	iface, _ := errorType.Underlying().(*types.Interface)
+	if iface == nil {
+		return false
+	}
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), iface)
+	}
+	return false
+}
+
+// constStringValue evaluates expr as a constant string.
+func constStringValue(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatVerbs returns one rune per operand the format string consumes,
+// in order: the verb character, or '*' for a dynamic width/precision
+// operand. Formats using explicit argument indexes (%[1]v) are not
+// modeled; they return nil so nothing is flagged.
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		for i < len(format) {
+			c := format[i]
+			if strings.IndexByte("+-# 0.", c) >= 0 || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if c == '[' {
+				return nil // explicit argument index: positions unmodeled
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, rune(format[i]))
+		}
+	}
+	return verbs
+}

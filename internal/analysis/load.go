@@ -87,19 +87,29 @@ func modulePath(file string) (string, error) {
 
 // LoadDir loads the package in dir, which must be inside the module.
 func (l *Loader) LoadDir(dir string) (*Package, error) {
-	abs, err := filepath.Abs(dir)
+	path, abs, err := l.dirToPath(dir)
 	if err != nil {
 		return nil, err
 	}
+	return l.load(path, abs)
+}
+
+// dirToPath maps a package directory to its import path and absolute
+// location, rejecting directories outside the module.
+func (l *Loader) dirToPath(dir string) (path, abs string, err error) {
+	abs, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
 	rel, err := filepath.Rel(l.ModRoot, abs)
 	if err != nil || strings.HasPrefix(rel, "..") {
-		return nil, fmt.Errorf("analysis: %s is outside module %s", abs, l.ModRoot)
+		return "", "", fmt.Errorf("analysis: %s is outside module %s", abs, l.ModRoot)
 	}
-	path := l.ModPath
+	path = l.ModPath
 	if rel != "." {
 		path = l.ModPath + "/" + filepath.ToSlash(rel)
 	}
-	return l.load(path, abs)
+	return path, abs, nil
 }
 
 // load parses and type-checks one package directory, memoized by import
@@ -385,17 +395,9 @@ func (l *Loader) discover(dirs []string) (map[string]*loadNode, error) {
 		queue = append(queue, n)
 	}
 	for _, dir := range dirs {
-		abs, err := filepath.Abs(dir)
+		path, abs, err := l.dirToPath(dir)
 		if err != nil {
 			return nil, err
-		}
-		rel, err := filepath.Rel(l.ModRoot, abs)
-		if err != nil || strings.HasPrefix(rel, "..") {
-			return nil, fmt.Errorf("analysis: %s is outside module %s", abs, l.ModRoot)
-		}
-		path := l.ModPath
-		if rel != "." {
-			path = l.ModPath + "/" + filepath.ToSlash(rel)
 		}
 		enqueue(path, abs)
 	}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is the machine-readable report: the -json document, the
+// committed baseline, and the diff CI gates on. Findings carry
+// module-root-relative paths so the report is stable across checkout
+// locations (and so the summary cache can be restored on another
+// machine).
+
+// ReportFinding is one finding in portable form.
+type ReportFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // module-root-relative, slash-separated
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String formats the finding the way the plain-text output does.
+func (f ReportFinding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Report is the full sharoes-vet output document.
+type Report struct {
+	Findings []ReportFinding `json:"findings"`
+	Allows   map[string]int  `json:"allows"`
+}
+
+// NewReport converts raw findings to portable form, relativizing file
+// paths against modRoot and sorting.
+func NewReport(findings []Finding, allows map[string]int, modRoot string) Report {
+	r := Report{Findings: make([]ReportFinding, 0, len(findings)), Allows: allows}
+	for _, f := range findings {
+		r.Findings = append(r.Findings, ReportFinding{
+			Analyzer: f.Analyzer,
+			File:     relModPath(modRoot, f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Message:  f.Message,
+		})
+	}
+	r.Sort()
+	return r
+}
+
+// relModPath makes file relative to modRoot where possible,
+// slash-separated for portability.
+func relModPath(modRoot, file string) string {
+	if modRoot != "" {
+		if rel, err := filepath.Rel(modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+// Sort orders findings by file, line, column, analyzer, message.
+func (r *Report) Sort() {
+	sort.Slice(r.Findings, func(i, j int) bool {
+		a, b := r.Findings[i], r.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// ParseReport decodes a JSON report document.
+func ParseReport(b []byte) (Report, error) {
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return Report{}, fmt.Errorf("analysis: parse report: %w", err)
+	}
+	if r.Allows == nil {
+		r.Allows = make(map[string]int)
+	}
+	r.Sort()
+	return r, nil
+}
+
+// Marshal encodes the report, indented, trailing newline included.
+func (r Report) Marshal() ([]byte, error) {
+	r.Sort()
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// diffKey identifies a finding for baseline comparison. Line and column
+// are deliberately excluded: unrelated edits move findings around, and
+// the gate should fire on *new* findings, not relocated legacy ones.
+type diffKey struct {
+	Analyzer, File, Message string
+}
+
+// DiffReports compares current against a committed baseline and returns
+// the findings new in current and those fixed since the baseline, as
+// multisets (two identical findings in one file need two waivers).
+func DiffReports(baseline, current Report) (newFindings, fixed []ReportFinding) {
+	count := make(map[diffKey]int)
+	for _, f := range baseline.Findings {
+		count[diffKey{f.Analyzer, f.File, f.Message}]++
+	}
+	for _, f := range current.Findings {
+		k := diffKey{f.Analyzer, f.File, f.Message}
+		if count[k] > 0 {
+			count[k]--
+			continue
+		}
+		newFindings = append(newFindings, f)
+	}
+	// Whatever baseline findings were not consumed are fixed.
+	remaining := make(map[diffKey]int)
+	for k, n := range count {
+		if n > 0 {
+			remaining[k] = n
+		}
+	}
+	for _, f := range baseline.Findings {
+		k := diffKey{f.Analyzer, f.File, f.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			fixed = append(fixed, f)
+		}
+	}
+	return newFindings, fixed
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+func sampleReport() Report {
+	return Report{
+		Findings: []ReportFinding{
+			{Analyzer: "errdrop", File: "internal/wire/wire.go", Line: 40, Col: 2, Message: "a"},
+			{Analyzer: "resleak", File: "cmd/sharoes-bench/main.go", Line: 9, Col: 5, Message: "b"},
+		},
+		Allows: map[string]int{"errdrop": 2, "goleak": 1},
+	}
+}
+
+// TestReportRoundTrip pins Marshal -> ParseReport as the identity on
+// the semantic content of a report.
+func TestReportRoundTrip(t *testing.T) {
+	r := sampleReport()
+	b, err := r.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := ParseReport(b)
+	if err != nil {
+		t.Fatalf("ParseReport: %v", err)
+	}
+	if !reflect.DeepEqual(got.Findings, r.Findings) {
+		t.Errorf("findings changed across round trip:\n got %+v\nwant %+v", got.Findings, r.Findings)
+	}
+	if !reflect.DeepEqual(got.Allows, r.Allows) {
+		t.Errorf("allows changed across round trip: got %v want %v", got.Allows, r.Allows)
+	}
+}
+
+// TestParseReportRejectsGarbage pins that a torn or hand-mangled
+// baseline is an error, not an empty report (which would make every
+// finding look new).
+func TestParseReportRejectsGarbage(t *testing.T) {
+	if _, err := ParseReport([]byte("{torn")); err == nil {
+		t.Fatal("ParseReport accepted malformed JSON")
+	}
+}
+
+// TestDiffReports pins the gate semantics: matching on
+// (analyzer, file, message) so pure line drift is neither new nor
+// fixed, while real additions and removals are.
+func TestDiffReports(t *testing.T) {
+	base := sampleReport()
+	cur := Report{
+		Findings: []ReportFinding{
+			// Same finding as base[0] but the file shifted 3 lines: not new.
+			{Analyzer: "errdrop", File: "internal/wire/wire.go", Line: 43, Col: 2, Message: "a"},
+			// Brand new finding.
+			{Analyzer: "errwrap", File: "internal/meta/meta.go", Line: 12, Col: 9, Message: "c"},
+		},
+	}
+	newF, fixed := DiffReports(base, cur)
+	if len(newF) != 1 || newF[0].Message != "c" {
+		t.Fatalf("new findings = %+v, want just message c", newF)
+	}
+	if len(fixed) != 1 || fixed[0].Message != "b" {
+		t.Fatalf("fixed findings = %+v, want just message b", fixed)
+	}
+}
+
+// TestDiffReportsMultiset pins count sensitivity: two identical
+// messages in current against one in baseline is one new finding.
+func TestDiffReportsMultiset(t *testing.T) {
+	f := ReportFinding{Analyzer: "errdrop", File: "f.go", Line: 1, Col: 1, Message: "dup"}
+	base := Report{Findings: []ReportFinding{f}}
+	g := f
+	g.Line = 30
+	cur := Report{Findings: []ReportFinding{f, g}}
+	newF, fixed := DiffReports(base, cur)
+	if len(newF) != 1 || len(fixed) != 0 {
+		t.Fatalf("got new=%d fixed=%d, want 1/0", len(newF), len(fixed))
+	}
+}

@@ -1,0 +1,747 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ResLeak reports acquired resources that can miss their release on some
+// path. A leaked pipelined ssp.Client wedges its writer goroutine, an
+// unclosed WriteBehind strands queued writes, a forgotten listener holds
+// its port, and an unended trace span corrupts the span tree — and all
+// of these hide on the early-error-return paths that tests rarely walk.
+//
+// An obligation is created when a call whose name starts with New, Open,
+// Dial, Listen, Accept or Start returns a value whose type carries a
+// release method (Close, Stop, Shutdown or End in the pointer method
+// set) and is defined in this module (or package net). The obligation is
+// discharged when the value is released on the path (directly or via
+// defer), or when ownership demonstrably transfers: the value is
+// returned, stored into a field, map, slice or global, passed to another
+// call, captured by a function literal, sent on a channel, or handed to
+// a goroutine — the goleak ownership rule: whoever can reach the value
+// can stop it. Paths on which the paired error is non-nil (or the value
+// itself is nil) carry no obligation.
+type ResLeak struct{}
+
+func (ResLeak) Name() string { return "resleak" }
+func (ResLeak) Doc() string {
+	return "values with Close/Stop/Shutdown/End obligations must reach their release on every path, early error returns included"
+}
+
+// rlAcqPrefixes are the constructor-name prefixes that create an
+// obligation when the result type carries a release method.
+var rlAcqPrefixes = []string{"New", "Open", "Dial", "Listen", "Accept", "Start"}
+
+// rlReleaseNames discharge an obligation when called on the value.
+var rlReleaseNames = map[string]bool{
+	"Close": true, "Stop": true, "Shutdown": true, "End": true,
+}
+
+// rlObl is one outstanding release obligation, keyed by the local
+// variable holding the resource. Immutable after creation; path state
+// tracks liveness by map membership.
+type rlObl struct {
+	obj    *types.Var   // the variable bound at the acquisition
+	typ    string       // display type, e.g. "ssp.Client"
+	pos    token.Pos    // acquisition site
+	errObj types.Object // the paired error variable, if any
+}
+
+// rlState is one path's outstanding obligations.
+type rlState struct {
+	live map[*types.Var]*rlObl
+}
+
+func newRlState() *rlState { return &rlState{live: make(map[*types.Var]*rlObl)} }
+
+func (st *rlState) clone() *rlState {
+	c := newRlState()
+	for k, v := range st.live {
+		c.live[k] = v
+	}
+	return c
+}
+
+// rlMerge joins two path states: an obligation outstanding on either
+// path is outstanding after the join.
+func rlMerge(a, b *rlState) *rlState {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	for k, v := range b.live {
+		a.live[k] = v
+	}
+	return a
+}
+
+// rlFrame is one enclosing breakable construct.
+type rlFrame struct {
+	label  string
+	isLoop bool // continue targets loops only
+	outs   []*rlState
+}
+
+// rlWalker walks one function unit.
+type rlWalker struct {
+	p        *Package
+	eng      *effectEngine
+	modRoot  string
+	unit     *funcUnit
+	results  map[types.Object]bool // named result vars (bare return transfers them)
+	frames   []*rlFrame
+	reported map[*rlObl]bool
+	out      *[]Finding
+}
+
+func (ResLeak) Check(p *Package) []Finding {
+	if p.Info == nil || p.Types == nil {
+		return nil
+	}
+	eng := newEffectEngine(p)
+	modRoot := moduleRootOf(p.Path)
+	var out []Finding
+	for _, u := range eng.units {
+		w := &rlWalker{
+			p: p, eng: eng, modRoot: modRoot, unit: u,
+			results:  namedResults(p, u),
+			reported: make(map[*rlObl]bool),
+			out:      &out,
+		}
+		st := w.walkStmts(newRlState(), u.body.List)
+		if st != nil {
+			w.exit(st, u.body.Rbrace)
+		}
+	}
+	return sortFindings(out)
+}
+
+// namedResults collects the unit's named result variables.
+func namedResults(p *Package, u *funcUnit) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	var ft *ast.FuncType
+	if u.decl != nil {
+		ft = u.decl.Type
+	} else if u.lit != nil {
+		ft = u.lit.Type
+	}
+	if ft == nil || ft.Results == nil {
+		return out
+	}
+	for _, field := range ft.Results.List {
+		for _, name := range field.Names {
+			if obj := p.Info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// acquisition classifies a call as resource-acquiring. valIdx/errIdx are
+// result positions; errIdx is -1 for infallible constructors.
+func (w *rlWalker) acquisition(call *ast.CallExpr) (typ string, valIdx, errIdx int, ok bool) {
+	fn := resolvedCallee(w.p.Info, call)
+	if fn == nil {
+		return "", 0, 0, false
+	}
+	name := fn.Name()
+	prefixed := false
+	for _, p := range rlAcqPrefixes {
+		if strings.HasPrefix(name, p) {
+			prefixed = true
+			break
+		}
+	}
+	if !prefixed {
+		return "", 0, 0, false
+	}
+	sig, sok := fn.Type().(*types.Signature)
+	if !sok {
+		return "", 0, 0, false
+	}
+	res := sig.Results()
+	if res == nil || res.Len() == 0 {
+		return "", 0, 0, false
+	}
+	errIdx = errorResultIndex(sig)
+	for i := 0; i < res.Len(); i++ {
+		if i == errIdx {
+			continue
+		}
+		t := res.At(i).Type()
+		disp, releasable := w.obligatedType(t)
+		if releasable {
+			return disp, i, errIdx, true
+		}
+	}
+	return "", 0, 0, false
+}
+
+// obligatedType reports whether t carries a release obligation: a named
+// type of this module (or package net) with a release method in its
+// pointer method set.
+func (w *rlWalker) obligatedType(t types.Type) (string, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return "", false
+	}
+	path := obj.Pkg().Path()
+	if !strings.HasPrefix(path, w.modRoot) && path != "net" {
+		return "", false
+	}
+	ms := types.NewMethodSet(types.NewPointer(n))
+	for i := 0; i < ms.Len(); i++ {
+		if rlReleaseNames[ms.At(i).Obj().Name()] {
+			return pkgBase(path) + "." + obj.Name(), true
+		}
+	}
+	return "", false
+}
+
+// transferIn discharges every obligation whose variable appears anywhere
+// under node: the value escaped to something that can release it.
+func (w *rlWalker) transferIn(st *rlState, node ast.Node) {
+	if node == nil {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, isVar := w.p.Info.ObjectOf(id).(*types.Var); isVar {
+				delete(st.live, v)
+			}
+		}
+		return true
+	})
+}
+
+// oblFor resolves an expression to the obligation of the variable it
+// names, if any.
+func (w *rlWalker) oblFor(st *rlState, e ast.Expr) (*types.Var, *rlObl) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	v, ok := w.p.Info.ObjectOf(id).(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	return v, st.live[v]
+}
+
+// procExpr processes an expression for releases and escapes. Bare reads
+// of the handle (comparisons, field access, non-release method
+// receivers) keep the obligation; argument positions, captures, address
+// taking and composite literals discharge it as ownership transfer.
+func (w *rlWalker) procExpr(st *rlState, e ast.Expr) {
+	switch x := e.(type) {
+	case nil:
+	case *ast.ParenExpr:
+		w.procExpr(st, x.X)
+	case *ast.CallExpr:
+		w.procCall(st, x, false)
+	case *ast.SelectorExpr:
+		w.procExpr(st, x.X)
+	case *ast.BinaryExpr:
+		w.procExpr(st, x.X)
+		w.procExpr(st, x.Y)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			w.transferIn(st, x.X)
+		} else {
+			w.procExpr(st, x.X)
+		}
+	case *ast.StarExpr:
+		w.procExpr(st, x.X)
+	case *ast.IndexExpr:
+		w.procExpr(st, x.X)
+		w.procExpr(st, x.Index)
+	case *ast.SliceExpr:
+		w.procExpr(st, x.X)
+	case *ast.TypeAssertExpr:
+		w.procExpr(st, x.X)
+	case *ast.KeyValueExpr:
+		w.procExpr(st, x.Value)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			w.transferIn(st, elt)
+		}
+	case *ast.FuncLit:
+		// The literal may release or own the capture; either way the
+		// obligation leaves this path (goleak's ownership rule).
+		w.transferIn(st, x.Body)
+	}
+}
+
+// procCall handles one call: release on the receiver, terminators, and
+// argument escapes. spawn marks go/defer targets, where the receiver
+// itself also transfers.
+func (w *rlWalker) procCall(st *rlState, call *ast.CallExpr, spawn bool) {
+	fn := resolvedCallee(w.p.Info, call)
+	if recv := methodReceiver(w.p.Info, call); recv != nil {
+		if v, obl := w.oblFor(st, recv); obl != nil {
+			if fn != nil && rlReleaseNames[fn.Name()] {
+				delete(st.live, v) // released
+			} else if spawn {
+				delete(st.live, v) // goroutine/defer owns the receiver now
+			}
+			// Other method calls read the handle; obligation stays.
+		} else {
+			w.procExpr(st, recv)
+		}
+	} else if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		w.transferIn(st, lit.Body)
+	}
+	for _, arg := range call.Args {
+		w.transferIn(st, arg)
+	}
+}
+
+// isTerminatorCall reports calls that end the path (panic, os.Exit,
+// log.Fatal).
+func (w *rlWalker) isTerminatorCall(call *ast.CallExpr) bool {
+	if fn := resolvedCallee(w.p.Info, call); fn != nil {
+		return isTerminatorFunc(fn)
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isB := w.p.Info.ObjectOf(id).(*types.Builtin); isB {
+			return b.Name() == "panic"
+		}
+	}
+	return false
+}
+
+// exit reports every obligation still outstanding when a path leaves the
+// function. Findings anchor at the acquisition and are deduplicated per
+// obligation, so one leaky value yields one finding however many exits
+// miss it.
+func (w *rlWalker) exit(st *rlState, at token.Pos) {
+	for _, obl := range st.live {
+		if w.reported[obl] {
+			continue
+		}
+		w.reported[obl] = true
+		*w.out = append(*w.out, Finding{
+			Analyzer: "resleak",
+			Pos:      w.p.Fset.Position(obl.pos),
+			Message: fmt.Sprintf("%s %q is not released on the path leaving at line %d; close it, hand off ownership, or allow with justification",
+				obl.typ, obl.obj.Name(), w.p.Fset.Position(at).Line),
+		})
+	}
+}
+
+// applyCond refines st for one branch of cond: error-check and
+// nil-check branches cancel the obligations they prove absent.
+func (w *rlWalker) applyCond(st *rlState, cond ast.Expr, taken bool) {
+	switch x := ast.Unparen(cond).(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			w.applyCond(st, x.X, !taken)
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			if taken {
+				w.applyCond(st, x.X, true)
+				w.applyCond(st, x.Y, true)
+			}
+		case token.LOR:
+			if !taken {
+				w.applyCond(st, x.X, false)
+				w.applyCond(st, x.Y, false)
+			}
+		case token.EQL, token.NEQ:
+			id, other := ast.Unparen(x.X), ast.Unparen(x.Y)
+			if !isNilIdent(w.p.Info, other) {
+				id, other = other, id
+			}
+			if !isNilIdent(w.p.Info, other) {
+				return
+			}
+			ident, ok := id.(*ast.Ident)
+			if !ok {
+				return
+			}
+			obj := w.p.Info.ObjectOf(ident)
+			if obj == nil {
+				return
+			}
+			isNil := taken == (x.Op == token.EQL) // branch where obj == nil holds
+			for v, obl := range st.live {
+				if obl.errObj == obj && !isNil {
+					delete(st.live, v) // err != nil: acquisition failed
+				}
+				if types.Object(v) == obj && isNil {
+					delete(st.live, v) // the handle itself is nil
+				}
+			}
+		}
+	}
+}
+
+// isNilIdent reports the predeclared nil.
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.ObjectOf(id).(*types.Nil)
+	return isNil
+}
+
+// --- statement walk ---------------------------------------------------------
+
+// walkStmts walks a statement list; nil means no fall-through (every
+// path returned, branched away, or terminated).
+func (w *rlWalker) walkStmts(st *rlState, list []ast.Stmt) *rlState {
+	for _, s := range list {
+		st = w.walkStmt(st, s)
+		if st == nil {
+			return nil
+		}
+	}
+	return st
+}
+
+func (w *rlWalker) walkStmt(st *rlState, s ast.Stmt) *rlState {
+	switch x := s.(type) {
+	case *ast.AssignStmt:
+		w.handleAssign(st, x)
+		return st
+	case *ast.DeclStmt:
+		w.handleDecl(st, x)
+		return st
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok && w.isTerminatorCall(call) {
+			return nil
+		}
+		w.procExpr(st, x.X)
+		return st
+	case *ast.SendStmt:
+		w.procExpr(st, x.Chan)
+		w.transferIn(st, x.Value)
+		return st
+	case *ast.IncDecStmt:
+		return st
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			w.transferIn(st, r)
+		}
+		if len(x.Results) == 0 {
+			// Bare return hands named results to the caller.
+			for v := range st.live {
+				if w.results[v] {
+					delete(st.live, v)
+				}
+			}
+		}
+		w.exit(st, x.Pos())
+		return nil
+	case *ast.DeferStmt:
+		w.procCall(st, x.Call, true)
+		return st
+	case *ast.GoStmt:
+		w.procCall(st, x.Call, true)
+		return st
+	case *ast.BranchStmt:
+		return w.handleBranch(st, x)
+	case *ast.BlockStmt:
+		return w.walkStmts(st, x.List)
+	case *ast.IfStmt:
+		return w.walkIf(st, x)
+	case *ast.ForStmt:
+		return w.walkFor(st, x)
+	case *ast.RangeStmt:
+		return w.walkRange(st, x)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			if st = w.walkStmt(st, x.Init); st == nil {
+				return nil
+			}
+		}
+		w.procExpr(st, x.Tag)
+		return w.walkCases(st, x.Body, "", hasDefaultClause(x.Body))
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			if st = w.walkStmt(st, x.Init); st == nil {
+				return nil
+			}
+		}
+		return w.walkCases(st, x.Body, "", hasDefaultClause(x.Body))
+	case *ast.SelectStmt:
+		if len(x.Body.List) == 0 {
+			return nil // select{} blocks forever
+		}
+		return w.walkCases(st, x.Body, "", true)
+	case *ast.LabeledStmt:
+		return w.walkLabeled(st, x)
+	case *ast.EmptyStmt:
+		return st
+	default:
+		return st
+	}
+}
+
+func (w *rlWalker) walkLabeled(st *rlState, x *ast.LabeledStmt) *rlState {
+	switch inner := x.Stmt.(type) {
+	case *ast.ForStmt:
+		return w.walkForLabeled(st, inner, x.Label.Name)
+	case *ast.RangeStmt:
+		return w.walkRangeLabeled(st, inner, x.Label.Name)
+	default:
+		return w.walkStmt(st, x.Stmt)
+	}
+}
+
+func (w *rlWalker) walkIf(st *rlState, x *ast.IfStmt) *rlState {
+	if x.Init != nil {
+		if st = w.walkStmt(st, x.Init); st == nil {
+			return nil
+		}
+	}
+	w.procExpr(st, x.Cond)
+	thenSt := st.clone()
+	elseSt := st
+	w.applyCond(thenSt, x.Cond, true)
+	w.applyCond(elseSt, x.Cond, false)
+	thenOut := w.walkStmts(thenSt, x.Body.List)
+	var elseOut *rlState
+	if x.Else != nil {
+		elseOut = w.walkStmt(elseSt, x.Else)
+	} else {
+		elseOut = elseSt
+	}
+	return rlMerge(thenOut, elseOut)
+}
+
+func (w *rlWalker) walkFor(st *rlState, x *ast.ForStmt) *rlState {
+	return w.walkForLabeled(st, x, "")
+}
+
+func (w *rlWalker) walkForLabeled(st *rlState, x *ast.ForStmt, label string) *rlState {
+	if x.Init != nil {
+		if st = w.walkStmt(st, x.Init); st == nil {
+			return nil
+		}
+	}
+	if x.Cond != nil {
+		w.procExpr(st, x.Cond)
+	}
+	frame := &rlFrame{label: label, isLoop: true}
+	w.frames = append(w.frames, frame)
+	bodyOut := w.walkStmts(st.clone(), x.Body.List)
+	w.frames = w.frames[:len(w.frames)-1]
+	if bodyOut != nil && x.Post != nil {
+		bodyOut = w.walkStmt(bodyOut, x.Post)
+	}
+	var out *rlState
+	if x.Cond != nil {
+		out = st // zero-iteration path
+	}
+	out = rlMerge(out, bodyOut)
+	for _, b := range frame.outs {
+		out = rlMerge(out, b)
+	}
+	return out
+}
+
+func (w *rlWalker) walkRange(st *rlState, x *ast.RangeStmt) *rlState {
+	return w.walkRangeLabeled(st, x, "")
+}
+
+func (w *rlWalker) walkRangeLabeled(st *rlState, x *ast.RangeStmt, label string) *rlState {
+	w.procExpr(st, x.X)
+	frame := &rlFrame{label: label, isLoop: true}
+	w.frames = append(w.frames, frame)
+	bodyOut := w.walkStmts(st.clone(), x.Body.List)
+	w.frames = w.frames[:len(w.frames)-1]
+	out := rlMerge(st, bodyOut) // ranges may iterate zero times
+	for _, b := range frame.outs {
+		out = rlMerge(out, b)
+	}
+	return out
+}
+
+// walkCases walks switch/select clause bodies from clones of the entry
+// state and merges the exits. withDefault controls whether the entry
+// state itself is a possible exit (no matching case).
+func (w *rlWalker) walkCases(st *rlState, body *ast.BlockStmt, label string, withDefault bool) *rlState {
+	frame := &rlFrame{label: label}
+	w.frames = append(w.frames, frame)
+	var out *rlState
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				w.procExpr(st, e)
+			}
+			stmts = cc.Body
+		case *ast.CommClause:
+			cst := st.clone()
+			if cc.Comm != nil {
+				if cst = w.walkStmt(cst, cc.Comm); cst == nil {
+					continue
+				}
+			}
+			out = rlMerge(out, w.walkStmts(cst, cc.Body))
+			continue
+		default:
+			continue
+		}
+		out = rlMerge(out, w.walkStmts(st.clone(), stmts))
+	}
+	w.frames = w.frames[:len(w.frames)-1]
+	if !withDefault {
+		out = rlMerge(out, st)
+	}
+	for _, b := range frame.outs {
+		out = rlMerge(out, b)
+	}
+	return out
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && len(cc.List) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// handleBranch records break/continue states into the frame they target.
+func (w *rlWalker) handleBranch(st *rlState, x *ast.BranchStmt) *rlState {
+	label := ""
+	if x.Label != nil {
+		label = x.Label.Name
+	}
+	switch x.Tok {
+	case token.BREAK:
+		for i := len(w.frames) - 1; i >= 0; i-- {
+			f := w.frames[i]
+			if label == "" || f.label == label {
+				f.outs = append(f.outs, st)
+				return nil
+			}
+		}
+		return nil
+	case token.CONTINUE:
+		// Continue feeds the next iteration; its obligations reach the
+		// loop exit, so record it like a break for the merge.
+		for i := len(w.frames) - 1; i >= 0; i-- {
+			f := w.frames[i]
+			if f.isLoop && (label == "" || f.label == label) {
+				f.outs = append(f.outs, st)
+				return nil
+			}
+		}
+		return nil
+	case token.FALLTHROUGH:
+		return st // next case body is walked from the shared entry anyway
+	default: // goto: give up on the path, conservatively silent
+		return nil
+	}
+}
+
+// handleAssign processes escapes, releases and acquisitions in one
+// assignment.
+func (w *rlWalker) handleAssign(st *rlState, as *ast.AssignStmt) {
+	// RHS: direct aliasing discharges (the alias may be the one
+	// released); everything else is positional via procExpr.
+	for _, rhs := range as.Rhs {
+		if v, obl := w.oblFor(st, rhs); obl != nil {
+			delete(st.live, v)
+			continue
+		}
+		w.procExpr(st, rhs)
+	}
+	// LHS: a plain ident is the write target (an obligated var being
+	// overwritten loses its old obligation); anything structured is an
+	// escape of whatever it mentions (map keys, field stores).
+	for _, lhs := range as.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if v, isVar := w.p.Info.ObjectOf(id).(*types.Var); isVar {
+				delete(st.live, v)
+			}
+			continue
+		}
+		w.transferIn(st, lhs)
+	}
+	// Acquisitions bind new obligations to their target vars.
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		typ, valIdx, errIdx, ok := w.acquisition(call)
+		if !ok {
+			continue
+		}
+		csig, _ := w.p.Info.TypeOf(call.Fun).(*types.Signature)
+		if csig == nil {
+			continue
+		}
+		var valExpr, errExpr ast.Expr
+		if len(as.Rhs) == 1 && csig.Results().Len() > 1 {
+			if valIdx < len(as.Lhs) {
+				valExpr = as.Lhs[valIdx]
+			}
+			if errIdx >= 0 && errIdx < len(as.Lhs) {
+				errExpr = as.Lhs[errIdx]
+			}
+		} else if csig.Results().Len() == 1 && i < len(as.Lhs) {
+			valExpr = as.Lhs[i]
+		}
+		if valExpr == nil {
+			continue
+		}
+		id, ok := ast.Unparen(valExpr).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue // escaped into a structure, or explicitly dropped
+		}
+		v, isVar := w.p.Info.ObjectOf(id).(*types.Var)
+		if !isVar {
+			continue
+		}
+		obl := &rlObl{obj: v, typ: typ, pos: call.Pos()}
+		if errExpr != nil {
+			if eid, ok := ast.Unparen(errExpr).(*ast.Ident); ok && eid.Name != "_" {
+				obl.errObj = w.p.Info.ObjectOf(eid)
+			}
+		}
+		st.live[v] = obl
+	}
+}
+
+// handleDecl gives `var c = New...()` declarations assignment semantics.
+func (w *rlWalker) handleDecl(st *rlState, ds *ast.DeclStmt) {
+	gd, ok := ds.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok || len(vs.Values) == 0 {
+			continue
+		}
+		lhs := make([]ast.Expr, len(vs.Names))
+		for i, n := range vs.Names {
+			lhs[i] = n
+		}
+		w.handleAssign(st, &ast.AssignStmt{Lhs: lhs, Tok: token.DEFINE, Rhs: vs.Values})
+	}
+}

@@ -1,0 +1,61 @@
+// Package client handles every fault-relevant error errdrop watches:
+// checked, returned, joined into a named result, consumed by a helper,
+// or — once — explicitly waived with a justification. Zero findings
+// after suppression; exactly one raw finding (the allowed discard).
+package client
+
+import (
+	"errors"
+	"os"
+
+	"github.com/sharoes/sharoes/internal/analysis/testdata/src/errdropgood/internal/ssp"
+)
+
+// PutChecked checks in place.
+func PutChecked(c *ssp.Client, v []byte) error {
+	if err := c.Put("k", v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// GetReturned forwards the tuple.
+func GetReturned(c *ssp.Client) ([]byte, error) {
+	return c.Get("k")
+}
+
+// CloseCaptured folds the deferred Close error into the named result,
+// the idiom the analyzer's defer message recommends.
+func CloseCaptured(c *ssp.Client, v []byte) (err error) {
+	defer func() { err = errors.Join(err, c.Close()) }()
+	return c.Put("k", v)
+}
+
+// FlushLater reads the error on a later statement; assignment plus a
+// real read is not a drop.
+func FlushLater(c *ssp.Client) error {
+	err := c.Flush()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// WarmCache deliberately tolerates the loss: warm-up traffic is
+// advisory, and the waiver says so in place.
+func WarmCache(c *ssp.Client) {
+	//sharoes-vet:allow errdrop warm-up traffic is advisory; a miss only costs latency, never correctness
+	c.Flush()
+}
+
+// WriteTemp joins the close error with the write error on both paths.
+func WriteTemp(path string, v []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(v); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	return f.Close()
+}

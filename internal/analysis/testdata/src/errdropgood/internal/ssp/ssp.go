@@ -1,0 +1,24 @@
+// Package ssp is a stub whose import-path suffix (internal/ssp) makes
+// its error-returning calls fault-relevant to errdrop.
+package ssp
+
+// Client is a stub pipelined session.
+type Client struct{ closed bool }
+
+// Dial opens a stub session.
+func Dial() (*Client, error) { return &Client{}, nil }
+
+// Put stores a blob.
+func (c *Client) Put(key string, val []byte) error { return nil }
+
+// Get fetches a blob.
+func (c *Client) Get(key string) ([]byte, error) { return []byte(key), nil }
+
+// Flush drains buffered writes.
+func (c *Client) Flush() error { return nil }
+
+// Close flushes and tears down the session.
+func (c *Client) Close() error {
+	c.closed = true
+	return nil
+}

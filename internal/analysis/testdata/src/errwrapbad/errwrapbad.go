@@ -1,0 +1,43 @@
+// Package errwrapbad flattens error identity at exported boundaries in
+// every way errwrap detects. Expected findings, in source order:
+//
+//  1. WrapV formats the cause with %v
+//  2. WrapS formats the cause with %s
+//  3. Flatten rebuilds the error from its rendered string
+//  4. FlattenF stringifies via .Error() inside fmt.Errorf
+//  5. Mixed keeps the sentinel but flattens the cause with %v
+package errwrapbad
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSentinel is what retry loops match with errors.Is.
+var ErrSentinel = errors.New("errwrapbad: sentinel")
+
+// WrapV loses the chain: errors.Is(err, cause) fails downstream.
+func WrapV(err error) error {
+	return fmt.Errorf("put: %v", err) // want errwrap: %v on error
+}
+
+// WrapS is the same flattening under a different verb.
+func WrapS(err error) error {
+	return fmt.Errorf("get: %s", err) // want errwrap: %s on error
+}
+
+// Flatten rebuilds the error from its message, severing identity.
+func Flatten(err error) error {
+	return errors.New(err.Error()) // want errwrap: .Error() rebuild
+}
+
+// FlattenF stringifies before formatting; the string arg hides the
+// error type from the verb check but not from the .Error() scan.
+func FlattenF(err error) error {
+	return fmt.Errorf("op: %s", err.Error()) // want errwrap: .Error() rebuild
+}
+
+// Mixed wraps the sentinel but flattens the cause it annotates.
+func Mixed(err error) error {
+	return fmt.Errorf("%w: %v", ErrSentinel, err) // want errwrap: %v on error
+}

@@ -1,0 +1,32 @@
+// Package errwrapgood preserves error identity at every boundary:
+// zero errwrap findings.
+package errwrapgood
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSentinel is what retry loops match with errors.Is.
+var ErrSentinel = errors.New("errwrapgood: sentinel")
+
+// Wrap preserves the chain with %w.
+func Wrap(err error) error {
+	return fmt.Errorf("put: %w", err)
+}
+
+// WrapBoth keeps both identities with multi-%w (Go 1.20+).
+func WrapBoth(err error) error {
+	return fmt.Errorf("%w: %w", ErrSentinel, err)
+}
+
+// Sentinel returns the sentinel as-is; identity intact.
+func Sentinel() error {
+	return ErrSentinel
+}
+
+// Describe formats non-error operands; %q on a string and %v on an int
+// are fine.
+func Describe(key string, attempt int) error {
+	return fmt.Errorf("key %q failed after %v attempts: %w", key, attempt, ErrSentinel)
+}

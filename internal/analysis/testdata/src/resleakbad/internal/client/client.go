@@ -1,0 +1,46 @@
+// Package client leaks obligations on specific paths. Expected
+// findings, one per function, each reported at the acquisition:
+//
+//  1. EarlyReturn leaks the client on the ping-failure return
+//  2. SpanLost leaks the span on the failure return
+//  3. BranchMiss closes only in one branch and leaks on fall-through
+package client
+
+import (
+	"github.com/sharoes/sharoes/internal/analysis/testdata/src/resleakbad/internal/ssp"
+)
+
+// EarlyReturn releases on the happy path but not on the probe failure.
+func EarlyReturn(addr string) error {
+	c, err := ssp.Dial(addr) // want resleak: leaked on error return
+	if err != nil {
+		return err
+	}
+	if c.Ping() != nil {
+		return ssp.ErrPing
+	}
+	return c.Close()
+}
+
+// SpanLost ends the span only when the work succeeds.
+func SpanLost(fail bool) error {
+	sp := ssp.Start("op") // want resleak: leaked on failure return
+	if fail {
+		return ssp.ErrPing
+	}
+	sp.End()
+	return nil
+}
+
+// BranchMiss closes inside the flush branch and falls through open
+// otherwise.
+func BranchMiss(addr string, flush bool) error {
+	c, err := ssp.Dial(addr) // want resleak: leaked on fall-through
+	if err != nil {
+		return err
+	}
+	if flush {
+		return c.Close()
+	}
+	return nil
+}

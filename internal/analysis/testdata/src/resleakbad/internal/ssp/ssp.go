@@ -1,0 +1,29 @@
+// Package ssp is a stub providing two obligation-carrying types for the
+// resleak fixtures: a dialed Client (Close) and a trace Span (End).
+package ssp
+
+import "errors"
+
+// ErrPing is a stub probe failure.
+var ErrPing = errors.New("ssp: ping failed")
+
+// Client is a stub session with a Close obligation.
+type Client struct{ addr string }
+
+// Dial opens a stub session; the caller owns the Close.
+func Dial(addr string) (*Client, error) { return &Client{addr: addr}, nil }
+
+// Ping probes the session.
+func (c *Client) Ping() error { return nil }
+
+// Close releases the session.
+func (c *Client) Close() error { return nil }
+
+// Span is a stub trace span with an End obligation.
+type Span struct{ name string }
+
+// Start opens a span; the caller owns the End.
+func Start(name string) *Span { return &Span{name: name} }
+
+// End releases the span.
+func (s *Span) End() {}

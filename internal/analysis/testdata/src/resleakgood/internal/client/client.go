@@ -1,0 +1,81 @@
+// Package client discharges every obligation resleak tracks — by
+// release, by ownership transfer, or by guarded acquisition. Zero
+// findings.
+package client
+
+import (
+	"github.com/sharoes/sharoes/internal/analysis/testdata/src/resleakgood/internal/ssp"
+)
+
+// Pool holds clients whose lifetime outlives the attaching call.
+type Pool struct {
+	clients []*ssp.Client
+}
+
+// Deferred releases on every path via defer.
+func Deferred(addr string) error {
+	c, err := ssp.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	return c.Ping()
+}
+
+// Returned hands the obligation to the caller.
+func Returned(addr string) (*ssp.Client, error) {
+	c, err := ssp.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Attach transfers ownership into the pool; the pool closes later.
+func (p *Pool) Attach(addr string) error {
+	c, err := ssp.Dial(addr)
+	if err != nil {
+		return err
+	}
+	p.clients = append(p.clients, c)
+	return nil
+}
+
+// Spawned transfers ownership into the goroutine that closes it.
+func Spawned(addr string) error {
+	c, err := ssp.Dial(addr)
+	if err != nil {
+		return err
+	}
+	go func() {
+		defer c.Close()
+		_ = c.Ping()
+	}()
+	return nil
+}
+
+// NilGuard ends the span behind the same nil test on both paths.
+func NilGuard(trace bool) {
+	var sp *ssp.Span
+	if trace {
+		sp = ssp.Start("op")
+	}
+	if sp != nil {
+		sp.End()
+	}
+}
+
+// Chained never binds the span, so there is no tracked obligation; the
+// deferred End releases it regardless.
+func Chained() {
+	defer ssp.Start("op").End()
+}
+
+// Open transfers the named result on the bare return.
+func Open(addr string) (c *ssp.Client, err error) {
+	c, err = ssp.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return
+}

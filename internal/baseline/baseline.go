@@ -149,7 +149,7 @@ func decodeBMeta(b []byte) (*bMeta, error) {
 	return &m, nil
 }
 
-func badMeta(err error) error { return fmt.Errorf("baseline: bad metadata: %v", err) }
+func badMeta(err error) error { return fmt.Errorf("baseline: bad metadata: %w", err) }
 
 // bTable is a baseline directory table: the plain ext2 two-column table.
 type bTable struct {

@@ -51,7 +51,7 @@ func (s *Session) fetchMeta(ino types.Inode) (*bMeta, error) {
 		pt, err := s.user.Priv.OpenChunked(blob)
 		stop()
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", types.ErrTampered, err)
+			return nil, fmt.Errorf("%w: %w", types.ErrTampered, err)
 		}
 		md, err := decodeBMeta(pt)
 		if err != nil {
@@ -92,7 +92,7 @@ func (s *Session) fetchMeta(ino types.Inode) (*bMeta, error) {
 		}
 		stop()
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", types.ErrTampered, err)
+			return nil, fmt.Errorf("%w: %w", types.ErrTampered, err)
 		}
 		md, err := decodeBMeta(pt)
 		if err != nil {
@@ -206,7 +206,7 @@ func (s *Session) openData(m *bMeta, aad, blob []byte) ([]byte, error) {
 	defer stop()
 	pt, err := m.DEK.Open(blob, aad)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", types.ErrTampered, err)
+		return nil, fmt.Errorf("%w: %w", types.ErrTampered, err)
 	}
 	return pt, nil
 }

@@ -193,7 +193,7 @@ func OpenView(variant string, tkey sharocrypto.SymKey, dvk sharocrypto.VerifyKey
 	return v, nil
 }
 
-func badView(err error) error { return fmt.Errorf("%w: view: %v", meta.ErrBadEncoding, err) }
+func badView(err error) error { return fmt.Errorf("%w: view: %w", meta.ErrBadEncoding, err) }
 
 // Names lists the entry names — the "ls" operation. It fails with
 // ErrNoKeys for exec-only views, whose whole point is hiding names.

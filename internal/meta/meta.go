@@ -336,7 +336,7 @@ func Decode(b []byte) (*Metadata, error) {
 	return &m, nil
 }
 
-func badEnc(err error) error { return fmt.Errorf("%w: %v", ErrBadEncoding, err) }
+func badEnc(err error) error { return fmt.Errorf("%w: %w", ErrBadEncoding, err) }
 
 // DirEntry is one row of a directory table: the ext2 (inode, name) columns
 // plus the MEK and MVK columns Sharoes adds (paper Figure 3).

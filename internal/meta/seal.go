@@ -59,7 +59,7 @@ func OpenVerified(key sharocrypto.SymKey, vk sharocrypto.VerifyKey, aad, blob []
 }
 
 func tampered(err error) error {
-	return fmt.Errorf("%w: %v (%v)", types.ErrTampered, ErrVerify, err)
+	return fmt.Errorf("%w: %w (%w)", types.ErrTampered, ErrVerify, err)
 }
 
 // Seal produces the sealed form of the metadata object for one variant:

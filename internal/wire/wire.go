@@ -302,30 +302,30 @@ func DecodeRequest(b []byte) (*Request, error) {
 	var q Request
 	op, err := r.byteVal()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
 	}
 	q.Op = Op(op)
 	ns, err := r.byteVal()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
 	}
 	q.NS = NS(ns)
 	if q.Key, err = r.str(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
 	}
 	val, err := r.bytes()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
 	}
 	if len(val) > 0 {
 		q.Val = append([]byte(nil), val...)
 	}
 	if q.Prefix, err = r.str(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
 	}
 	n, err := r.uvarint()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
 	}
 	if n > uint64(len(r.b)) { // each KV takes at least a few bytes
 		return nil, fmt.Errorf("%w: absurd item count %d", ErrBadMessage, n)
@@ -333,7 +333,7 @@ func DecodeRequest(b []byte) (*Request, error) {
 	for i := uint64(0); i < n; i++ {
 		kv, err := decodeKV(r)
 		if err != nil {
-			return nil, fmt.Errorf("%w: item %d: %v", ErrBadMessage, i, err)
+			return nil, fmt.Errorf("%w: item %d: %w", ErrBadMessage, i, err)
 		}
 		q.Items = append(q.Items, kv)
 	}
@@ -384,22 +384,22 @@ func DecodeResponse(b []byte) (*Response, error) {
 	var p Response
 	st, err := r.byteVal()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
 	}
 	p.Status = Status(st)
 	if p.Err, err = r.str(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
 	}
 	val, err := r.bytes()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
 	}
 	if len(val) > 0 {
 		p.Val = append([]byte(nil), val...)
 	}
 	n, err := r.uvarint()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
 	}
 	if n > uint64(len(r.b)) {
 		return nil, fmt.Errorf("%w: absurd item count %d", ErrBadMessage, n)
@@ -407,7 +407,7 @@ func DecodeResponse(b []byte) (*Response, error) {
 	for i := uint64(0); i < n; i++ {
 		kv, err := decodeKV(r)
 		if err != nil {
-			return nil, fmt.Errorf("%w: item %d: %v", ErrBadMessage, i, err)
+			return nil, fmt.Errorf("%w: item %d: %w", ErrBadMessage, i, err)
 		}
 		p.Items = append(p.Items, kv)
 	}
@@ -454,7 +454,7 @@ func ReadFrame(r io.Reader) ([]byte, int, error) {
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, 4, fmt.Errorf("%w: %v", ErrBadMessage, err)
+		return nil, 4, fmt.Errorf("%w: %w", ErrBadMessage, err)
 	}
 	return payload, 4 + int(n), nil
 }

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -50,8 +51,7 @@ func RunFig9(opts FigureOptions) ([]Fig9Row, error) {
 				return nil, fmt.Errorf("fig9 %v: %w", kind, err)
 			}
 			res, err := CreateListN(sys, cfg, opts.Parallel)
-			sys.Close()
-			if err != nil {
+			if err = errors.Join(err, sys.Close()); err != nil {
 				return nil, fmt.Errorf("fig9 %v: %w", kind, err)
 			}
 			acc.Create += res.Create
@@ -124,8 +124,7 @@ func RunFig10(opts FigureOptions, cachePcts []int) ([]Fig10Row, error) {
 			}
 			res, err := PostmarkN(sys, cfg, o.Parallel)
 			snap := sys.Rec.Snapshot()
-			sys.Close()
-			if err != nil {
+			if err = errors.Join(err, sys.Close()); err != nil {
 				return nil, fmt.Errorf("fig10 %v/%d%%: %w", kind, pct, err)
 			}
 			rows = append(rows, Fig10Row{System: kind, CachePct: pct, Result: res, Stats: snap})
@@ -162,8 +161,7 @@ func RunFig11(opts FigureOptions) ([]Fig11Row, error) {
 				return nil, fmt.Errorf("fig11 %v: %w", kind, err)
 			}
 			res, err := Andrew(sys.FS, cfg)
-			sys.Close()
-			if err != nil {
+			if err = errors.Join(err, sys.Close()); err != nil {
 				return nil, fmt.Errorf("fig11 %v: %w", kind, err)
 			}
 			for i := range acc.Phase {
@@ -213,12 +211,12 @@ func PrintFig12(w io.Writer, rows []Fig11Row) {
 
 // RunFig13 regenerates Figure 13: Sharoes filesystem operation costs
 // decomposed into NETWORK / CRYPTO / OTHER.
-func RunFig13(opts FigureOptions) (OpCostsResult, error) {
+func RunFig13(opts FigureOptions) (res OpCostsResult, err error) {
 	sys, err := Build(SysSharoes, opts.Options)
 	if err != nil {
 		return OpCostsResult{}, fmt.Errorf("fig13: %w", err)
 	}
-	defer sys.Close()
+	defer func() { err = errors.Join(err, sys.Close()) }()
 	return OpCosts(sys.FS, sys.Rec, PaperOpCosts.Scaled(opts.Scale))
 }
 

@@ -8,7 +8,9 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
+	"os"
 	"sync"
 
 	"github.com/sharoes/sharoes/internal/baseline"
@@ -223,7 +225,11 @@ func Build(kind SystemKind, opts Options) (*System, error) {
 	}
 	server.Observe(sys.Metrics, sys.ServerTracer)
 	lis.Observe(sys.Metrics)
-	go server.Serve(lis)
+	go func() {
+		if err := server.Serve(lis); err != nil {
+			fmt.Fprintf(os.Stderr, "workload: ssp serve: %v\n", err)
+		}
+	}()
 
 	rec := &stats.Recorder{}
 	// The tracer rides along on Dial so even the mount-path RPCs are
@@ -260,8 +266,7 @@ func Build(kind SystemKind, opts Options) (*System, error) {
 		if err := migrate.Bootstrap(migrate.Options{Store: backing, Registry: reg, Layout: eng,
 			FSID: fsid, RootOwner: "alice", RootGroup: "eng", RootPerm: 0o755,
 			BlockSize: opts.BlockSize}); err != nil {
-			sys.Close()
-			return nil, err
+			return nil, errors.Join(err, sys.Close())
 		}
 		sys.mount = func() (vfs.FS, error) {
 			return client.Mount(client.Config{Store: store, User: alice, Registry: reg,
@@ -273,19 +278,16 @@ func Build(kind SystemKind, opts Options) (*System, error) {
 			BlockSize: opts.BlockSize, LazyRevocation: opts.LazyRevocation,
 			Tracer: sys.Tracer, Metrics: sys.Metrics})
 		if err != nil {
-			sys.Close()
-			return nil, err
+			return nil, errors.Join(err, sys.Close())
 		}
 		sys.FS = fs
 	default:
 		mode, err := baselineMode(kind)
 		if err != nil {
-			sys.Close()
-			return nil, err
+			return nil, errors.Join(err, sys.Close())
 		}
 		if err := baseline.Bootstrap(backing, mode, fsid, reg, "alice", "eng", 0o755); err != nil {
-			sys.Close()
-			return nil, err
+			return nil, errors.Join(err, sys.Close())
 		}
 		sys.mount = func() (vfs.FS, error) {
 			return baseline.Mount(baseline.Config{Store: store, Mode: mode, User: alice,
@@ -296,8 +298,7 @@ func Build(kind SystemKind, opts Options) (*System, error) {
 			Registry: reg, FSID: fsid, Recorder: rec, CacheBytes: opts.CacheBytes,
 			BlockSize: opts.BlockSize})
 		if err != nil {
-			sys.Close()
-			return nil, err
+			return nil, errors.Join(err, sys.Close())
 		}
 		sys.FS = fs
 	}
