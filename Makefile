@@ -17,7 +17,8 @@ FUZZ_TARGETS := \
 	./internal/meta:FuzzDecodeSuperblock \
 	./internal/meta:FuzzDecodeSplitPointer \
 	./internal/cap:FuzzOpenView \
-	./internal/analysis:FuzzParseAllowDirective
+	./internal/analysis:FuzzParseAllowDirective \
+	./internal/shard:FuzzDecodeRing
 
 FUZZTIME ?= 10s
 
@@ -68,17 +69,24 @@ vet-json:
 	$(GO) run ./cmd/sharoes-vet -json ./... > vet-findings.json
 
 # race runs the packages with dedicated concurrency stress tests under
-# the race detector (internal/analysis for its parallel package loader).
+# the race detector (internal/analysis for its parallel package loader,
+# internal/shard for concurrent quorum ops during live rebalancing).
 race:
-	$(GO) test -race ./internal/client ./internal/ssp ./internal/cache ./internal/obs ./internal/analysis
+	$(GO) test -race ./internal/client ./internal/ssp ./internal/cache ./internal/obs ./internal/analysis ./internal/shard
 
-# bench-compare proves the committed artifacts' transport claim: the
-# parallel pipelined + write-behind run must beat the serial run by >=2x
-# effective mean latency on every (figure, op, system) row. CI runs it;
-# regenerate all four artifacts (docs/OBSERVABILITY.md) after perf work.
+# bench-compare proves the committed artifacts' claims. First the
+# transport claim: the parallel pipelined + write-behind run must beat
+# the serial run by >=2x effective mean latency on every (figure, op,
+# system) row. Then the sharding claim: the 3-shard R=2 run (replicated
+# over three SSPs, quorum writes, hedged reads) must stay within 40% of
+# the single-backend parallel run — horizontal redundancy at bounded
+# cost, not a regression cliff. CI runs both; regenerate all six
+# artifacts (docs/OBSERVABILITY.md) after perf work.
 bench-compare:
 	$(GO) run ./cmd/checkreport -old BENCH_createlist_serial.json -new BENCH_createlist.json -min-speedup 2.0
 	$(GO) run ./cmd/checkreport -old BENCH_postmark_serial.json -new BENCH_postmark.json -min-speedup 2.0
+	$(GO) run ./cmd/checkreport -old BENCH_createlist.json -new BENCH_createlist_shards.json -max-regress 40%
+	$(GO) run ./cmd/checkreport -old BENCH_postmark.json -new BENCH_postmark_shards.json -max-regress 40%
 
 # fuzz-smoke runs every fuzz target for a short burst — enough to catch
 # regressions on the saved corpus plus a little fresh exploration.

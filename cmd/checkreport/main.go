@@ -61,8 +61,20 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%s: ok (%s, figure %s, %d rows)\n", path, rep.Schema, rep.Figure, len(rep.Rows))
+		fmt.Printf("%s: ok (%s, figure %s, %d rows%s)\n", path, rep.Schema, rep.Figure, len(rep.Rows), shardDesc(rep))
 	}
+}
+
+// shardDesc renders the report's sharding configuration, if any.
+func shardDesc(rep workload.BenchReport) string {
+	if rep.Shards <= 1 {
+		return ""
+	}
+	s := fmt.Sprintf(", shards=%d r=%d w=%d", rep.Shards, rep.Replicas, rep.WriteQuorum)
+	if rep.ShardFault != "" {
+		s += " fault=" + rep.ShardFault
+	}
+	return s
 }
 
 func load(path string) (workload.BenchReport, error) {

@@ -40,6 +40,11 @@ func main() {
 	tracePath := flag.String("trace", "", "instead of a figure, run a traced SHAROES Create-and-List and write a Chrome trace_event JSON to this path")
 	parallel := flag.Int("parallel", 1, "run Create-and-List and Postmark across this many concurrent sessions over one pipelined SSP connection (figures 9 and 10)")
 	wb := flag.Bool("wb", false, "interpose the write-behind batching layer between sessions and the SSP connection")
+	shards := flag.Int("shards", 1, "run over this many independent SSPs behind a consistent-hash shard router (1 = the paper's single-SSP shape)")
+	replicas := flag.Int("replicas", 2, "shard replication factor R (with -shards > 1; clamped to the shard count)")
+	writeQuorum := flag.Int("write-quorum", 0, "shard write quorum W (0 = majority of R)")
+	hedge := flag.Duration("hedge", 0, "sharded read hedge threshold (0 = shard.Store default, negative disables hedging)")
+	shardFault := flag.String("shard-fault", "", "inject a whole-shard fault after bootstrap: loss (shard refuses writes, drops reads) or slow (shard delays every read)")
 	flag.Parse()
 
 	if *parallel > 1 && *tracePath != "" {
@@ -57,9 +62,36 @@ func main() {
 	default:
 		log.Fatalf("unknown profile %q", *profile)
 	}
+	if *shards < 1 {
+		log.Fatalf("-shards must be >= 1")
+	}
+	if *shardFault != "" && *shards <= 1 {
+		log.Fatalf("-shard-fault needs -shards > 1")
+	}
+	// Resolve the effective shard parameters the way shard.Options does,
+	// so the report records what actually ran.
+	effReplicas, effQuorum := 0, 0
+	if *shards > 1 {
+		effReplicas = *replicas
+		if effReplicas < 1 {
+			effReplicas = 2
+		}
+		if effReplicas > *shards {
+			effReplicas = *shards
+		}
+		effQuorum = *writeQuorum
+		if effQuorum == 0 {
+			effQuorum = effReplicas/2 + 1
+		}
+		if effQuorum > effReplicas {
+			log.Fatalf("-write-quorum %d exceeds the replication factor %d", effQuorum, effReplicas)
+		}
+	}
 	opts := workload.FigureOptions{
 		Options: workload.Options{Profile: prof, CacheBytes: -1, Scheme: *scheme,
-			Parallel: *parallel, WriteBehind: *wb},
+			Parallel: *parallel, WriteBehind: *wb,
+			Shards: *shards, Replicas: effReplicas, WriteQuorum: *writeQuorum,
+			HedgeDelay: *hedge, ShardFault: *shardFault},
 		Scale: *scale,
 		Reps:  *reps,
 	}
@@ -79,6 +111,12 @@ func main() {
 			rep.Parallel = *parallel
 		}
 		rep.WriteBehind = *wb
+		if *shards > 1 {
+			rep.Shards = *shards
+			rep.Replicas = effReplicas
+			rep.WriteQuorum = effQuorum
+			rep.ShardFault = *shardFault
+		}
 		f, err := os.Create(*jsonPath)
 		if err != nil {
 			return err
@@ -95,6 +133,12 @@ func main() {
 	}
 	if *wb {
 		mode += " write-behind"
+	}
+	if *shards > 1 {
+		mode += fmt.Sprintf(" shards=%d r=%d w=%d", *shards, effReplicas, effQuorum)
+		if *shardFault != "" {
+			mode += " fault=" + *shardFault
+		}
 	}
 	fmt.Printf("sharoes-bench: profile=%s scale=1/%d scheme=%s%s\n\n", *profile, *scale, *scheme, mode)
 

@@ -8,6 +8,13 @@
 //	sharoes-cli -key ./keys/alice.key -registry ./keys/registry.json \
 //	    -ssp localhost:7070 -fsid corp <op> [args]
 //
+// -ssp accepts a comma-separated address list; with more than one the
+// session routes every blob over the SSPs through the consistent-hash
+// shard layer (-replicas copies each, write quorum -write-quorum, hedged
+// reads after -hedge). The address strings themselves are the shard IDs,
+// so placement depends only on the set of addresses, never their order —
+// every client naming the same SSPs sees the same ring.
+//
 // Operations:
 //
 //	ls PATH            list a directory
@@ -37,6 +44,7 @@ import (
 	"github.com/sharoes/sharoes/internal/client"
 	"github.com/sharoes/sharoes/internal/keys"
 	"github.com/sharoes/sharoes/internal/layout"
+	"github.com/sharoes/sharoes/internal/shard"
 	"github.com/sharoes/sharoes/internal/ssp"
 	"github.com/sharoes/sharoes/internal/types"
 	"github.com/sharoes/sharoes/internal/vfs"
@@ -47,10 +55,13 @@ func main() {
 	log.SetPrefix("sharoes-cli: ")
 	keyPath := flag.String("key", "", "user private key file")
 	regPath := flag.String("registry", "", "enterprise registry file")
-	sspAddr := flag.String("ssp", "localhost:7070", "SSP address")
+	sspAddr := flag.String("ssp", "localhost:7070", "SSP address, or a comma-separated list to shard over several SSPs")
 	storeDir := flag.String("storedir", "", "local disk store instead of a remote SSP")
 	fsid := flag.String("fsid", "corp", "filesystem identifier")
 	scheme := flag.String("scheme", "scheme2", "metadata layout: scheme1 or scheme2")
+	replicas := flag.Int("replicas", 2, "shard replication factor with a multi-address -ssp (clamped to the SSP count)")
+	writeQuorum := flag.Int("write-quorum", 0, "shard write quorum (0 = majority of -replicas)")
+	hedge := flag.Duration("hedge", 0, "sharded read hedge threshold (0 = default, negative disables)")
 	flag.Parse()
 
 	if *keyPath == "" || *regPath == "" {
@@ -78,11 +89,44 @@ func main() {
 		}
 		store = ds
 	} else {
-		cl, err := ssp.Dial(func() (net.Conn, error) { return net.Dial("tcp", *sspAddr) }, nil)
-		if err != nil {
-			log.Fatal(err)
+		addrs := splitAddrs(*sspAddr)
+		if len(addrs) == 0 {
+			log.Fatal("no SSP address")
 		}
-		store = cl
+		dial := func(addr string) (*ssp.Client, error) {
+			return ssp.Dial(func() (net.Conn, error) { return net.Dial("tcp", addr) }, nil)
+		}
+		if len(addrs) == 1 {
+			cl, err := dial(addrs[0])
+			if err != nil {
+				log.Fatal(err)
+			}
+			store = cl
+		} else {
+			backends := make([]shard.Backend, len(addrs))
+			for i, a := range addrs {
+				cl, err := dial(a)
+				if err != nil {
+					log.Fatalf("dial %s: %v", a, err)
+				}
+				// The address is the shard ID: every client naming the
+				// same SSP set builds the same ring, whatever the order.
+				backends[i] = shard.Backend{ID: a, Store: cl}
+			}
+			sh, err := shard.New(backends, shard.Options{Replicas: *replicas,
+				WriteQuorum: *writeQuorum, HedgeDelay: *hedge})
+			if err != nil {
+				log.Fatal(err)
+			}
+			// A shard store acks writes at quorum; Close drains the
+			// background replica writes before the process exits.
+			defer func() {
+				if err := sh.Close(); err != nil {
+					log.Printf("shard close: %v", err)
+				}
+			}()
+			store = sh
+		}
 	}
 
 	var eng layout.Engine = layout.NewScheme2(reg)
@@ -105,6 +149,18 @@ func main() {
 	if err := dispatch(fs, args); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// splitAddrs parses a comma-separated address list, dropping empty
+// entries.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 func parseRights(s string) (types.Triplet, error) {

@@ -8,6 +8,12 @@
 //	sharoes-ssp [-addr :7070] [-store mem|disk] [-dir ./ssp-data]
 //	            [-debug-addr :7071] [-grace 10s]
 //
+// -addr accepts a comma-separated list; each address then serves its own
+// independent store from this one process (disk stores split into s0, s1,
+// ... subdirectories of -dir). That is the local testbed shape for the
+// sharded client: point sharoes-cli's -ssp at the same list and it routes
+// over them as separate shards.
+//
 // On SIGINT or SIGTERM the server drains gracefully: it stops accepting,
 // lets in-flight requests finish (bounded by -grace), then writes a final
 // metrics snapshot to stderr. With -debug-addr set, a debug HTTP server
@@ -24,6 +30,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -32,35 +40,53 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":7070", "listen address")
+	addr := flag.String("addr", ":7070", "listen address, or a comma-separated list to serve one independent shard store per address")
 	storeKind := flag.String("store", "mem", "storage backend: mem or disk")
 	dir := flag.String("dir", "./ssp-data", "data directory for -store disk")
 	debugAddr := flag.String("debug-addr", "", "optional debug HTTP address serving /metrics and /debug/pprof/")
 	grace := flag.Duration("grace", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
 	flag.Parse()
 
-	var store ssp.BlobStore
-	switch *storeKind {
-	case "mem":
-		store = ssp.NewMemStore()
-	case "disk":
-		ds, err := ssp.NewDiskStore(*dir)
+	addrs := splitAddrs(*addr)
+	if len(addrs) == 0 {
+		log.Fatal("sharoes-ssp: no listen address")
+	}
+
+	// newStore builds the i'th address's independent backing store. Disk
+	// stores shard into subdirectories so two listeners never share state
+	// — the whole point of pointing a sharded client at this process.
+	newStore := func(i int) (ssp.BlobStore, error) {
+		switch *storeKind {
+		case "mem":
+			return ssp.NewMemStore(), nil
+		case "disk":
+			d := *dir
+			if len(addrs) > 1 {
+				d = filepath.Join(d, fmt.Sprintf("s%d", i))
+			}
+			return ssp.NewDiskStore(d)
+		default:
+			return nil, fmt.Errorf("unknown store %q", *storeKind)
+		}
+	}
+
+	reg := obs.NewRegistry()
+	servers := make([]*ssp.Server, len(addrs))
+	listeners := make([]net.Listener, len(addrs))
+	for i, a := range addrs {
+		store, err := newStore(i)
 		if err != nil {
 			log.Fatalf("sharoes-ssp: %v", err)
 		}
-		store = ds
-	default:
-		log.Fatalf("sharoes-ssp: unknown store %q", *storeKind)
+		lis, err := net.Listen("tcp", a)
+		if err != nil {
+			log.Fatalf("sharoes-ssp: listen %s: %v", a, err)
+		}
+		server := ssp.NewServer(store, log.New(os.Stderr, fmt.Sprintf("ssp[%d]: ", i), log.LstdFlags))
+		server.Observe(reg, nil)
+		servers[i], listeners[i] = server, lis
+		fmt.Printf("sharoes-ssp: serving %s store on %s\n", *storeKind, lis.Addr())
 	}
-
-	lis, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatalf("sharoes-ssp: listen: %v", err)
-	}
-	server := ssp.NewServer(store, log.New(os.Stderr, "ssp: ", log.LstdFlags))
-	reg := obs.NewRegistry()
-	server.Observe(reg, nil)
-	fmt.Printf("sharoes-ssp: serving %s store on %s\n", *storeKind, lis.Addr())
 
 	if *debugAddr != "" {
 		go serveDebug(*debugAddr, reg)
@@ -71,8 +97,10 @@ func main() {
 	go func() {
 		<-done
 		fmt.Fprintf(os.Stderr, "sharoes-ssp: draining (grace %v)\n", *grace)
-		if err := server.Shutdown(*grace); err != nil {
-			fmt.Fprintf(os.Stderr, "sharoes-ssp: shutdown: %v\n", err)
+		for _, server := range servers {
+			if err := server.Shutdown(*grace); err != nil {
+				fmt.Fprintf(os.Stderr, "sharoes-ssp: shutdown: %v\n", err)
+			}
 		}
 		fmt.Fprintln(os.Stderr, "sharoes-ssp: final metrics snapshot:")
 		if err := reg.WriteJSON(os.Stderr); err != nil {
@@ -80,9 +108,28 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr)
 	}()
-	if err := server.Serve(lis); err != nil {
-		log.Fatalf("sharoes-ssp: %v", err)
+
+	errc := make(chan error, len(servers))
+	for i := range servers {
+		go func(i int) { errc <- servers[i].Serve(listeners[i]) }(i)
 	}
+	for range servers {
+		if err := <-errc; err != nil {
+			log.Fatalf("sharoes-ssp: %v", err)
+		}
+	}
+}
+
+// splitAddrs parses a comma-separated address list, dropping empty
+// entries.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // serveDebug runs the optional operator endpoint. It must never be

@@ -69,3 +69,48 @@ func Ticker(ctx context.Context, f func()) {
 		}
 	}()
 }
+
+// Hedger mirrors the hedged-read fan-out shape: per-replica goroutines
+// send into a buffered results channel, a long-lived drainer ranges over
+// that channel, and the owner's Close is the shutdown edge (it closes
+// the channel the drainer ranges over).
+type Hedger struct {
+	replicas []func() (int, error)
+	results  chan int
+	wg       sync.WaitGroup
+}
+
+// NewHedger's drainer exits when Close fires: both the owner-Close
+// contract and the close-is-stop-signal edge cover it.
+func NewHedger(replicas []func() (int, error)) *Hedger {
+	h := &Hedger{replicas: replicas, results: make(chan int, len(replicas))}
+	go h.drainLoop()
+	return h
+}
+
+func (h *Hedger) drainLoop() {
+	for v := range h.results {
+		sink(v)
+	}
+}
+
+// Get launches the primary and one hedge; the goroutines are bounded
+// (no loop) and joined through the WaitGroup before Close.
+func (h *Hedger) Get() {
+	for i := 0; i < 2 && i < len(h.replicas); i++ {
+		r := h.replicas[i]
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			if v, err := r(); err == nil {
+				h.results <- v
+			}
+		}()
+	}
+}
+
+// Close joins the in-flight hedges, then stops the drainer.
+func (h *Hedger) Close() {
+	h.wg.Wait()
+	close(h.results)
+}

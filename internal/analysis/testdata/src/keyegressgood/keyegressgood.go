@@ -50,3 +50,15 @@ func GoodAsyncStore(st ssp.BlobStore, dek sharocrypto.SymKey, plain []byte, done
 		done <- st.Put(wire.NSData, "k", sealed)
 	}()
 }
+
+// GoodReplicatedStore seals once, then fans the one ciphertext out to
+// every replica store from per-replica goroutines — the sharded quorum
+// write path carries only sealed bytes on every lane.
+func GoodReplicatedStore(replicas []ssp.BlobStore, dek sharocrypto.SymKey, plain []byte, acks chan<- error) {
+	sealed := dek.Seal(plain, []byte("ctx"))
+	for _, st := range replicas {
+		go func(st ssp.BlobStore) {
+			acks <- st.Put(wire.NSData, "k", sealed)
+		}(st)
+	}
+}

@@ -63,6 +63,41 @@ func (c *Client) Raw(key string) []byte {
 	return blob
 }
 
+// FetchHedged races two replica reads and authenticates on the racing
+// path itself: each goroutine opens (decrypt + verify) its replica's
+// blob before anything crosses the channel, so whichever replica wins,
+// only verified plaintext ever reaches the return.
+func (c *Client) FetchHedged(primary, hedge ssp.BlobStore, key string, aad []byte) ([]byte, error) {
+	type result struct {
+		pt  []byte
+		err error
+	}
+	results := make(chan result, 2)
+	for _, st := range []ssp.BlobStore{primary, hedge} {
+		go func(st ssp.BlobStore) {
+			blob, err := st.Get(wire.NSData, key)
+			if err != nil {
+				results <- result{nil, err}
+				return
+			}
+			pt, err := meta.OpenVerified(c.mek, c.mvk, aad, blob)
+			results <- result{pt, err}
+		}(st)
+	}
+	var firstErr error
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		return r.pt, nil
+	}
+	return nil, firstErr
+}
+
 // Prefetch authenticates on the async path too: the background goroutine
 // opens (decrypt + verify) each blob before it may touch the cache.
 func (c *Client) Prefetch(keys []string, aad []byte) {

@@ -10,6 +10,7 @@ import (
 	"github.com/sharoes/sharoes/internal/layout"
 	"github.com/sharoes/sharoes/internal/migrate"
 	"github.com/sharoes/sharoes/internal/refmodel"
+	"github.com/sharoes/sharoes/internal/shard"
 	"github.com/sharoes/sharoes/internal/ssp"
 	"github.com/sharoes/sharoes/internal/types"
 )
@@ -61,14 +62,17 @@ func TestModelEquivalence(t *testing.T) {
 	filePerms := []string{"644", "600", "640", "664", "444", "000", "660", "642", "621"}
 	dirPerms := []string{"755", "700", "750", "711", "744", "775", "000", "753", "733"}
 
-	// The wb dimension interposes the ssp.WriteBehind batching layer shared
-	// by all four users' sessions: with puts buffered and flushed lazily,
-	// every result and error class must STILL match the reference model —
-	// the read-after-write coherence proof for the write-behind layer.
-	for _, wb := range []bool{false, true} {
+	// The mode dimension interposes storage layers shared by all four
+	// users' sessions: "wb" adds the ssp.WriteBehind batching layer, and
+	// "wbshard" puts that write-behind over a 3-shard replicated
+	// shard.Store (R=2, W=R so every ack is fully replicated and reads
+	// are deterministic). In every mode each result and error class must
+	// STILL match the reference model — the read-after-write coherence
+	// proof for the buffering and sharding layers.
+	for _, mode := range []string{"", "wb", "wbshard"} {
 		name := func(scheme string, seed int64) string {
-			if wb {
-				return fmt.Sprintf("%s/seed%d/wb", scheme, seed)
+			if mode != "" {
+				return fmt.Sprintf("%s/seed%d/%s", scheme, seed, mode)
 			}
 			return fmt.Sprintf("%s/seed%d", scheme, seed)
 		}
@@ -76,7 +80,19 @@ func TestModelEquivalence(t *testing.T) {
 			for seed := int64(1); seed <= 3; seed++ {
 				t.Run(name(scheme, seed), func(t *testing.T) {
 					rng := rand.New(rand.NewSource(seed))
-					store := ssp.NewMemStore()
+					var store ssp.BlobStore = ssp.NewMemStore()
+					if mode == "wbshard" {
+						var bks []shard.Backend
+						for i := 0; i < 3; i++ {
+							bks = append(bks, shard.Backend{ID: fmt.Sprintf("s%d", i), Store: ssp.NewMemStore()})
+						}
+						sh, err := shard.New(bks, shard.Options{Replicas: 2, WriteQuorum: 2})
+						if err != nil {
+							t.Fatal(err)
+						}
+						defer sh.Close()
+						store = sh
+					}
 					var eng layout.Engine = layout.NewScheme2(fixReg)
 					if scheme == "scheme1" {
 						eng = layout.NewScheme1(fixReg)
@@ -86,8 +102,8 @@ func TestModelEquivalence(t *testing.T) {
 						RootPerm: 0o755}); err != nil {
 						t.Fatal(err)
 					}
-					var sstore ssp.BlobStore = store
-					if wb {
+					sstore := store
+					if mode != "" {
 						w := ssp.NewWriteBehind(store, ssp.WriteBehindOptions{})
 						defer w.Close()
 						sstore = w

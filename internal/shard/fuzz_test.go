@@ -1,0 +1,47 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRing asserts the ring-descriptor codec never panics on
+// arbitrary input, and that anything it does accept round-trips to an
+// identical descriptor with identical placement behaviour.
+func FuzzDecodeRing(f *testing.F) {
+	for _, shards := range [][]string{
+		{"a"},
+		{"s0", "s1", "s2"},
+		{"ssp-α", "ssp-β"},
+	} {
+		r, err := NewRing(42, shards, 16)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(r.Encode())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{RingVersionByte})
+	f.Add([]byte{RingVersionByte, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeRing(data)
+		if err != nil {
+			return // malformed is fine; panicking is not
+		}
+		enc := r.Encode()
+		r2, err := DecodeRing(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted descriptor failed: %v", err)
+		}
+		if r2.Epoch != r.Epoch || r2.Vnodes != r.Vnodes || len(r2.Shards) != len(r.Shards) {
+			t.Fatalf("round trip changed the descriptor: %+v vs %+v", r, r2)
+		}
+		if !bytes.Equal(r2.Encode(), enc) {
+			t.Fatal("round trip is not a fixed point")
+		}
+		if r.Owner(1, "probe") != r2.Owner(1, "probe") {
+			t.Fatal("round trip changed key placement")
+		}
+	})
+}

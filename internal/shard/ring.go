@@ -1,0 +1,229 @@
+// Package shard implements a consistent-hash sharded, replicated
+// multi-SSP backend: a Store that presents the ordinary ssp.BlobStore
+// interface while routing every (namespace, key) through a hash ring of
+// virtual nodes, replicating each blob to R successor shards, writing
+// quorum-style and reading with hedges and read-repair.
+//
+// Nothing in this layer is trusted with integrity or confidentiality:
+// the SSPs behind it are the paper's untrusted stores, and the client
+// above it verifies every blob cryptographically. That is exactly why
+// horizontal scale is architecturally free — a stale or missing replica
+// is *detected* by the caller, never trusted, so the shard layer only
+// has to be eventually convergent (read-repair), not consistent.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"github.com/sharoes/sharoes/internal/binenc"
+	"github.com/sharoes/sharoes/internal/wire"
+)
+
+// RingVersionByte is the codec version prefix of an encoded ring
+// descriptor. Decoding rejects any other leading byte, which is how a
+// future incompatible layout coexists with this one.
+const RingVersionByte = 1
+
+// DefaultVnodes is the virtual-node count per shard when a Ring is built
+// with vnodes <= 0. 64 points per shard keeps the max/mean keyspace
+// imbalance under ~20% for small clusters without making descriptors or
+// lookups expensive.
+const DefaultVnodes = 64
+
+// ErrBadRing is wrapped by every ring-descriptor decode failure.
+var ErrBadRing = errors.New("shard: bad ring descriptor")
+
+// maxRingShards bounds decoded descriptors so a malformed or hostile
+// length prefix cannot balloon allocation.
+const maxRingShards = 1 << 12
+
+// Ring is an immutable consistent-hash ring: an epoch, a shard ID list,
+// and vnode hash points placed for every (shard, vnode) pair. Build one
+// with NewRing or DecodeRing; never mutate a Ring in place — Store swaps
+// whole rings under its lock.
+type Ring struct {
+	// Epoch orders ring generations; every rebalance bumps it.
+	Epoch uint64
+	// Vnodes is the virtual-node count per shard.
+	Vnodes int
+	// Shards are the member shard IDs, in the order they were declared.
+	Shards []string
+
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int // index into Shards
+}
+
+// NewRing builds a ring. Shard IDs must be non-empty and unique; vnodes
+// <= 0 takes DefaultVnodes.
+func NewRing(epoch uint64, shards []string, vnodes int) (*Ring, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("%w: no shards", ErrBadRing)
+	}
+	if len(shards) > maxRingShards {
+		return nil, fmt.Errorf("%w: %d shards (max %d)", ErrBadRing, len(shards), maxRingShards)
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := make(map[string]bool, len(shards))
+	for _, id := range shards {
+		if id == "" {
+			return nil, fmt.Errorf("%w: empty shard id", ErrBadRing)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("%w: duplicate shard id %q", ErrBadRing, id)
+		}
+		seen[id] = true
+	}
+	r := &Ring{Epoch: epoch, Vnodes: vnodes, Shards: append([]string(nil), shards...)}
+	r.points = make([]ringPoint, 0, len(shards)*vnodes)
+	for si, id := range r.Shards {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(id, v), shard: si})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties break by shard index so placement is deterministic
+		// regardless of declaration order of the colliding pair.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r, nil
+}
+
+// mix64 is a 64-bit avalanche finalizer (the MurmurHash3 fmix64
+// constants). Raw FNV-1a over short, similar inputs (one-char shard IDs,
+// small vnode counters) clusters badly on a ring — one shard can end up
+// owning over half the keyspace — so every placement hash is finalized
+// through this.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// pointHash places vnode v of a shard on the ring.
+func pointHash(id string, v int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	h.Write([]byte{'#', byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+	return mix64(h.Sum64())
+}
+
+// keyHash places a (namespace, key) on the ring. The namespace is part
+// of the hash so each namespace's keyspace spreads independently.
+func keyHash(ns wire.NS, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte{byte(ns), '/'})
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// Lookup returns the indices (into Shards) of the n distinct shards
+// owning (ns, key): the successor of the key's hash point first — the
+// primary — then the following distinct shards clockwise. n is clamped
+// to the shard count.
+func (r *Ring) Lookup(ns wire.NS, key string, n int) []int {
+	return r.successors(keyHash(ns, key), n)
+}
+
+func (r *Ring) successors(h uint64, n int) []int {
+	if n > len(r.Shards) {
+		n = len(r.Shards)
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
+	taken := make([]bool, len(r.Shards))
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !taken[p.shard] {
+			taken[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}
+
+// Owner returns the primary shard index for (ns, key).
+func (r *Ring) Owner(ns wire.NS, key string) int {
+	return r.successors(keyHash(ns, key), 1)[0]
+}
+
+// Encode serializes the descriptor: version byte, epoch, vnodes, shard
+// count, then each shard ID — all uvarint/length-prefixed via binenc, so
+// old decoders fail loudly on a bumped version byte instead of
+// misparsing.
+func (r *Ring) Encode() []byte {
+	var w binenc.Writer
+	w.Byte(RingVersionByte)
+	w.Uvarint(r.Epoch)
+	w.Uvarint(uint64(r.Vnodes))
+	w.Uvarint(uint64(len(r.Shards)))
+	for _, id := range r.Shards {
+		w.String(id)
+	}
+	return w.Bytes()
+}
+
+// DecodeRing parses an encoded descriptor and rebuilds the ring. Any
+// malformed input returns an error wrapping ErrBadRing; decoding never
+// panics (fuzzed).
+func DecodeRing(b []byte) (*Ring, error) {
+	rd := binenc.NewReader(b)
+	ver, err := rd.Byte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadRing, err)
+	}
+	if ver != RingVersionByte {
+		return nil, fmt.Errorf("%w: unknown version %d", ErrBadRing, ver)
+	}
+	epoch, err := rd.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: epoch: %w", ErrBadRing, err)
+	}
+	vn, err := rd.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: vnodes: %w", ErrBadRing, err)
+	}
+	if vn == 0 || vn > 1<<16 {
+		return nil, fmt.Errorf("%w: vnodes %d out of range", ErrBadRing, vn)
+	}
+	n, err := rd.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: shard count: %w", ErrBadRing, err)
+	}
+	if n == 0 || n > maxRingShards {
+		return nil, fmt.Errorf("%w: shard count %d out of range", ErrBadRing, n)
+	}
+	shards := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		id, err := rd.String()
+		if err != nil {
+			return nil, fmt.Errorf("%w: shard %d: %w", ErrBadRing, i, err)
+		}
+		shards = append(shards, id)
+	}
+	if rd.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadRing, rd.Remaining())
+	}
+	ring, err := NewRing(epoch, shards, int(vn))
+	if err != nil {
+		return nil, err
+	}
+	return ring, nil
+}

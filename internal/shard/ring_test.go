@@ -1,0 +1,188 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/sharoes/sharoes/internal/wire"
+)
+
+func TestRingLookupProperties(t *testing.T) {
+	ids := []string{"s0", "s1", "s2", "s3", "s4"}
+	r, err := NewRing(1, ids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Vnodes != DefaultVnodes {
+		t.Fatalf("vnodes defaulted to %d, want %d", r.Vnodes, DefaultVnodes)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		got := r.Lookup(wire.NSData, key, 3)
+		if len(got) != 3 {
+			t.Fatalf("Lookup(%q, 3) returned %d shards", key, len(got))
+		}
+		seen := map[int]bool{}
+		for _, si := range got {
+			if si < 0 || si >= len(ids) {
+				t.Fatalf("Lookup(%q) index %d out of range", key, si)
+			}
+			if seen[si] {
+				t.Fatalf("Lookup(%q) repeated shard %d", key, si)
+			}
+			seen[si] = true
+		}
+		if got[0] != r.Owner(wire.NSData, key) {
+			t.Fatalf("Lookup(%q)[0] = %d, Owner = %d", key, got[0], r.Owner(wire.NSData, key))
+		}
+		// Deterministic across an identical rebuild.
+		again, _ := NewRing(1, ids, 0)
+		got2 := again.Lookup(wire.NSData, key, 3)
+		for j := range got {
+			if got[j] != got2[j] {
+				t.Fatalf("Lookup(%q) not deterministic: %v vs %v", key, got, got2)
+			}
+		}
+	}
+	// n clamps to the shard count; n<=0 yields nothing.
+	if got := r.Lookup(wire.NSData, "k", 99); len(got) != len(ids) {
+		t.Fatalf("clamped lookup returned %d shards, want %d", len(got), len(ids))
+	}
+	if got := r.Lookup(wire.NSData, "k", 0); got != nil {
+		t.Fatalf("Lookup n=0 = %v, want nil", got)
+	}
+}
+
+func TestRingBalanceAndStability(t *testing.T) {
+	ids := []string{"a", "b", "c", "d"}
+	r, err := NewRing(1, ids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4000
+	counts := make([]int, len(ids))
+	owner := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("obj/%d", i)
+		o := r.Owner(wire.NSData, key)
+		counts[o]++
+		owner[key] = o
+	}
+	for si, c := range counts {
+		frac := float64(c) / float64(n)
+		if frac < 0.12 || frac > 0.40 {
+			t.Errorf("shard %s owns %.1f%% of keys; ring badly imbalanced", ids[si], 100*frac)
+		}
+	}
+	// Adding one shard must not move keys between surviving shards: a key
+	// either keeps its owner or moves to the new shard.
+	grown, err := NewRing(2, append(append([]string(nil), ids...), "e"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for key, o := range owner {
+		no := grown.Owner(wire.NSData, key)
+		if no == o {
+			continue
+		}
+		if grown.Shards[no] != "e" {
+			t.Fatalf("key %q moved %s -> %s, not to the new shard", key, ids[o], grown.Shards[no])
+		}
+		moved++
+	}
+	if moved == 0 || moved > n/2 {
+		t.Errorf("adding 1 of 5 shards moved %d/%d keys; want roughly 1/5", moved, n)
+	}
+}
+
+func TestRingNamespaceSpread(t *testing.T) {
+	r, err := NewRing(1, []string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if r.Owner(wire.NSData, key) != r.Owner(wire.NSMeta, key) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("namespaces do not spread independently: every key has one owner across NSData and NSMeta")
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		shards []string
+	}{
+		{"empty", nil},
+		{"blank id", []string{"a", ""}},
+		{"duplicate", []string{"a", "b", "a"}},
+	}
+	for _, tc := range cases {
+		if _, err := NewRing(1, tc.shards, 0); !errors.Is(err, ErrBadRing) {
+			t.Errorf("%s: err = %v, want ErrBadRing", tc.name, err)
+		}
+	}
+}
+
+func TestRingCodecRoundTrip(t *testing.T) {
+	r, err := NewRing(7, []string{"ssp-a", "ssp-b", "ssp-c"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := r.Encode()
+	if enc[0] != RingVersionByte {
+		t.Fatalf("descriptor leads with %d, want version byte %d", enc[0], RingVersionByte)
+	}
+	got, err := DecodeRing(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 7 || got.Vnodes != 32 || len(got.Shards) != 3 {
+		t.Fatalf("decoded %+v", got)
+	}
+	for i, id := range got.Shards {
+		if id != r.Shards[i] {
+			t.Fatalf("shards %v != %v", got.Shards, r.Shards)
+		}
+	}
+	if !bytes.Equal(got.Encode(), enc) {
+		t.Error("re-encode differs from original descriptor")
+	}
+	// Placement survives the round trip.
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if got.Owner(wire.NSData, key) != r.Owner(wire.NSData, key) {
+			t.Fatalf("decoded ring places %q differently", key)
+		}
+	}
+}
+
+func TestRingDecodeMalformed(t *testing.T) {
+	good := func() []byte {
+		r, _ := NewRing(1, []string{"a", "b"}, 8)
+		return r.Encode()
+	}()
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad version":    append([]byte{RingVersionByte + 1}, good[1:]...),
+		"truncated":      good[:len(good)-2],
+		"trailing bytes": append(append([]byte(nil), good...), 0xFF),
+		"zero shards": func() []byte {
+			// version, epoch=1, vnodes=8, count=0
+			return []byte{RingVersionByte, 1, 8, 0}
+		}(),
+		"huge count": {RingVersionByte, 1, 8, 0xFF, 0xFF, 0xFF, 0x7F},
+	}
+	for name, b := range cases {
+		if _, err := DecodeRing(b); !errors.Is(err, ErrBadRing) {
+			t.Errorf("%s: err = %v, want ErrBadRing", name, err)
+		}
+	}
+}

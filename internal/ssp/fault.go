@@ -4,6 +4,7 @@ import (
 	"errors"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/sharoes/sharoes/internal/wire"
 )
@@ -31,17 +32,25 @@ const (
 	// write-behind layer, whose flush failures surface on a later
 	// operation. Reads ignore rules of this mode.
 	FaultWriteErr
+	// FaultSlow delays matching Gets by the rule's Delay before serving
+	// the true value, modelling a straggling (but honest) backend. It
+	// exercises the hedged-read path of the shard layer: a slow primary
+	// should lose the race to a hedge sent to a healthy replica.
+	FaultSlow
 )
 
 // ErrInjectedWrite is the error FaultWriteErr rules inject on writes.
 var ErrInjectedWrite = errors.New("ssp: injected write fault")
 
-// FaultRule matches blobs by namespace and key substring.
+// FaultRule matches blobs by namespace and key substring. NS 0 is a
+// wildcard matching every namespace, so a whole-backend fault ("this
+// shard is down", "this shard is slow") is one rule, not one per NS.
 type FaultRule struct {
 	Mode    FaultMode
-	NS      wire.NS
-	KeyPart string // substring of key; empty matches every key in NS
-	SwapKey string // FaultSwap: serve this key's value instead
+	NS      wire.NS       // 0 matches all namespaces
+	KeyPart string        // substring of key; empty matches every key in NS
+	SwapKey string        // FaultSwap: serve this key's value instead
+	Delay   time.Duration // FaultSlow: added latency per matching Get
 }
 
 // FaultStore wraps a BlobStore with a malicious read path. Writes pass
@@ -85,10 +94,18 @@ func (s *FaultStore) Triggered() int {
 
 func histKey(ns wire.NS, key string) string { return string(rune(ns)) + "/" + key }
 
-func (s *FaultStore) match(ns wire.NS, key string) *FaultRule {
+// match returns the first armed rule for (ns, key) on the given path.
+// Matching is path-aware so one backend can carry both a write fault and
+// a read fault at once (a fully lost shard is FaultWriteErr + FaultDrop):
+// the write path sees only FaultWriteErr rules, the read path everything
+// else.
+func (s *FaultStore) match(ns wire.NS, key string, write bool) *FaultRule {
 	for i := range s.rules {
 		r := &s.rules[i]
-		if r.NS == ns && (r.KeyPart == "" || strings.Contains(key, r.KeyPart)) {
+		if write != (r.Mode == FaultWriteErr) {
+			continue
+		}
+		if (r.NS == 0 || r.NS == ns) && (r.KeyPart == "" || strings.Contains(key, r.KeyPart)) {
 			return r
 		}
 	}
@@ -98,10 +115,7 @@ func (s *FaultStore) match(ns wire.NS, key string) *FaultRule {
 // Get implements BlobStore, applying any matching read fault.
 func (s *FaultStore) Get(ns wire.NS, key string) ([]byte, error) {
 	s.mu.Lock()
-	rule := s.match(ns, key)
-	if rule != nil && rule.Mode == FaultWriteErr {
-		rule = nil // write-path rule: reads pass through
-	}
+	rule := s.match(ns, key, false)
 	var rollback []byte
 	if rule != nil && rule.Mode == FaultRollback {
 		rollback = s.history[histKey(ns, key)]
@@ -109,7 +123,15 @@ func (s *FaultStore) Get(ns wire.NS, key string) ([]byte, error) {
 	if rule != nil {
 		s.triggered++
 	}
+	var delay time.Duration
+	if rule != nil && rule.Mode == FaultSlow {
+		delay = rule.Delay
+		rule = nil // honest, just late: fall through to the true value
+	}
 	s.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
 
 	if rule == nil {
 		return s.Inner.Get(ns, key)
@@ -142,7 +164,7 @@ func (s *FaultStore) Get(ns wire.NS, key string) ([]byte, error) {
 // applying any matching write fault.
 func (s *FaultStore) Put(ns wire.NS, key string, val []byte) error {
 	s.mu.Lock()
-	if r := s.match(ns, key); r != nil && r.Mode == FaultWriteErr {
+	if r := s.match(ns, key, true); r != nil {
 		s.triggered++
 		s.mu.Unlock()
 		return ErrInjectedWrite

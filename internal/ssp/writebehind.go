@@ -86,6 +86,18 @@ type Flusher interface {
 	Barrier() error
 }
 
+// Router is implemented by stores that spread keys across multiple
+// independent backends (the sharded multi-SSP store). Layers above —
+// write-behind in particular — use it to split one logical batch into
+// per-backend lanes, so each backend's pipelined connection carries only
+// its own traffic instead of every flush serializing through one frame.
+// RouteID must be stable for a given (ns, key) between ring changes and
+// return a value in [0, Routes()).
+type Router interface {
+	Routes() int
+	RouteID(ns wire.NS, key string) int
+}
+
 // NewWriteBehind wraps inner in a write-behind buffer.
 func NewWriteBehind(inner BlobStore, opt WriteBehindOptions) *WriteBehind {
 	opt.defaults()
@@ -156,7 +168,7 @@ func (w *WriteBehind) flushLoop() {
 		w.mu.Unlock()
 
 		start := time.Now()
-		err := w.inner.BatchPut(batch)
+		err := w.flushBatch(batch)
 		w.opt.Registry.Histogram("ssp.wb.flush_ns").Observe(time.Since(start))
 		w.opt.Registry.Histogram("ssp.wb.flush_items").Observe(time.Duration(len(batch)) * time.Microsecond)
 		w.opt.Registry.Counter("ssp.wb.flushes").Inc()
@@ -174,6 +186,49 @@ func (w *WriteBehind) flushLoop() {
 	w.mu.Unlock()
 }
 
+// flushBatch lands one drained buffer in the inner store. When the inner
+// store routes keys across several backends (it implements Router), the
+// batch is keyed into one lane per backend and the lanes are written
+// concurrently — each backend's connection sees only its own keys.
+// Cross-lane ordering is unconstrained, which is safe because lanes are
+// disjoint key sets; within a lane, batch order is preserved. The first
+// lane error wins (they all become the same sticky deferred error).
+func (w *WriteBehind) flushBatch(batch []wire.KV) error {
+	rt, ok := w.inner.(Router)
+	if !ok || rt.Routes() <= 1 {
+		return w.inner.BatchPut(batch)
+	}
+	lanes := make(map[int][]wire.KV)
+	for _, kv := range batch {
+		id := rt.RouteID(kv.NS, kv.Key)
+		lanes[id] = append(lanes[id], kv)
+	}
+	w.opt.Registry.Counter("ssp.wb.lane_flushes").Add(int64(len(lanes)))
+	if len(lanes) == 1 {
+		return w.inner.BatchPut(batch)
+	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for _, lane := range lanes {
+		wg.Add(1)
+		go func(items []wire.KV) {
+			defer wg.Done()
+			if err := w.inner.BatchPut(items); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		}(lane)
+	}
+	wg.Wait()
+	return firstErr
+}
+
 // Barrier flushes all buffered writes and waits for them to land,
 // returning (and clearing) any deferred flush error.
 func (w *WriteBehind) Barrier() error {
@@ -189,6 +244,15 @@ func (w *WriteBehind) barrierLocked() error {
 	}
 	err := w.err
 	w.err = nil
+	if f, ok := w.inner.(Flusher); ok {
+		// Fan the barrier out: a sharded inner store drains its async
+		// replica writes (and surfaces its own sticky quorum error)
+		// here, so a Barrier means coherence through the whole stack,
+		// not just this buffer.
+		if ierr := f.Barrier(); ierr != nil && err == nil {
+			err = ierr
+		}
+	}
 	return err
 }
 

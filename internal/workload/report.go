@@ -55,8 +55,21 @@ type BenchReport struct {
 	Parallel int `json:"parallel,omitempty"`
 	// WriteBehind records whether the write-behind batching layer was
 	// interposed between the sessions and the SSP connection.
-	WriteBehind bool       `json:"write_behind,omitempty"`
-	Rows        []BenchRow `json:"rows"`
+	WriteBehind bool `json:"write_behind,omitempty"`
+	// Shards is the backend SSP count the system ran over (absent or 1 =
+	// the paper's single-SSP shape). When > 1 the run went through the
+	// consistent-hash shard.Store and the remaining shard fields apply.
+	Shards int `json:"shards,omitempty"`
+	// Replicas is the shard replication factor R.
+	Replicas int `json:"replicas,omitempty"`
+	// WriteQuorum is the shard write quorum W (acks required before a put
+	// returns).
+	WriteQuorum int `json:"write_quorum,omitempty"`
+	// ShardFault names the injected whole-shard fault scenario the run
+	// survived: "loss" (one shard refusing writes and dropping reads) or
+	// "slow" (one shard delaying every read past the hedge threshold).
+	ShardFault string     `json:"shard_fault,omitempty"`
+	Rows       []BenchRow `json:"rows"`
 }
 
 // benchRow assembles one row from a latency distribution, a total
@@ -120,6 +133,24 @@ func ValidateReport(rep BenchReport) error {
 	}
 	if len(rep.Rows) == 0 {
 		return fmt.Errorf("report: no rows")
+	}
+	if rep.Shards < 0 || rep.Replicas < 0 || rep.WriteQuorum < 0 {
+		return fmt.Errorf("report: negative shard configuration")
+	}
+	if rep.Shards > 1 {
+		if rep.Replicas < 1 || rep.Replicas > rep.Shards {
+			return fmt.Errorf("report: replicas %d out of range for %d shards", rep.Replicas, rep.Shards)
+		}
+		if rep.WriteQuorum < 1 || rep.WriteQuorum > rep.Replicas {
+			return fmt.Errorf("report: write quorum %d out of range for %d replicas", rep.WriteQuorum, rep.Replicas)
+		}
+	} else if rep.Replicas != 0 || rep.WriteQuorum != 0 || rep.ShardFault != "" {
+		return fmt.Errorf("report: shard fields set on a single-SSP run")
+	}
+	switch rep.ShardFault {
+	case "", "loss", "slow":
+	default:
+		return fmt.Errorf("report: unknown shard fault %q", rep.ShardFault)
 	}
 	for i, r := range rep.Rows {
 		if r.Figure != rep.Figure {

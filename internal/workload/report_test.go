@@ -86,6 +86,30 @@ func TestFig10ReportCachePct(t *testing.T) {
 	}
 }
 
+func TestValidateReportShardFields(t *testing.T) {
+	rep := Fig9Report(sampleFig9Rows(), "dsl", 100, "scheme2")
+	rep.Shards, rep.Replicas, rep.WriteQuorum, rep.ShardFault = 3, 2, 1, "loss"
+	if err := ValidateReport(rep); err != nil {
+		t.Fatalf("sharded report rejected: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"shards": 3`, `"replicas": 2`, `"write_quorum": 1`, `"shard_fault": "loss"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("JSON missing %s", want)
+		}
+	}
+	back, err := ParseReport(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Shards != 3 || back.Replicas != 2 || back.WriteQuorum != 1 || back.ShardFault != "loss" {
+		t.Fatalf("round trip mangled shard fields: %+v", back)
+	}
+}
+
 func TestValidateReportRejects(t *testing.T) {
 	good := Fig9Report(sampleFig9Rows(), "dsl", 100, "scheme2")
 	cases := []struct {
@@ -101,6 +125,10 @@ func TestValidateReportRejects(t *testing.T) {
 		{"zero count", func(r *BenchReport) { r.Rows[0].Count = 0 }},
 		{"non-monotone quantiles", func(r *BenchReport) { r.Rows[0].P50Ns = r.Rows[0].P99Ns + 1 }},
 		{"negative bytes", func(r *BenchReport) { r.Rows[0].BytesIn = -1 }},
+		{"replicas above shards", func(r *BenchReport) { r.Shards = 3; r.Replicas = 4; r.WriteQuorum = 1 }},
+		{"quorum above replicas", func(r *BenchReport) { r.Shards = 3; r.Replicas = 2; r.WriteQuorum = 3 }},
+		{"shard fields without shards", func(r *BenchReport) { r.Replicas = 2 }},
+		{"unknown shard fault", func(r *BenchReport) { r.Shards = 3; r.Replicas = 2; r.WriteQuorum = 1; r.ShardFault = "flaky" }},
 	}
 	for _, tc := range cases {
 		rep := good

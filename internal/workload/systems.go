@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"github.com/sharoes/sharoes/internal/baseline"
 	"github.com/sharoes/sharoes/internal/client"
@@ -20,6 +21,7 @@ import (
 	"github.com/sharoes/sharoes/internal/migrate"
 	"github.com/sharoes/sharoes/internal/netsim"
 	"github.com/sharoes/sharoes/internal/obs"
+	"github.com/sharoes/sharoes/internal/shard"
 	"github.com/sharoes/sharoes/internal/ssp"
 	"github.com/sharoes/sharoes/internal/stats"
 	"github.com/sharoes/sharoes/internal/types"
@@ -137,9 +139,32 @@ type Options struct {
 	Parallel int
 	// WriteBehind interposes an ssp.WriteBehind coalescing layer between
 	// the sessions and the SSP connection, batching puts into BatchPut
-	// flushes.
+	// flushes. Over a sharded system the flushes split into one
+	// per-backend lane each.
 	WriteBehind bool
+	// Shards builds the system over this many independent SSPs — each
+	// with its own backing store, server, simulated link, and pipelined
+	// connection — behind a consistent-hash shard.Store. <=1 keeps the
+	// single-SSP shape.
+	Shards int
+	// Replicas is the shard.Store replication factor R (default 2,
+	// clamped to Shards). Only meaningful with Shards > 1.
+	Replicas int
+	// WriteQuorum is the shard.Store write quorum W (default majority).
+	WriteQuorum int
+	// HedgeDelay is the sharded read hedge threshold (0 → the
+	// shard.Store default, <0 disables hedging).
+	HedgeDelay time.Duration
+	// ShardFault injects a whole-backend fault into shard s0 after
+	// bootstrap: "" none, "loss" (refuses writes, drops reads — a lost
+	// shard), "slow" (every read delayed ShardFaultDelay — a straggler).
+	ShardFault string
 }
+
+// ShardFaultDelay is the injected per-read latency of the "slow"
+// ShardFault scenario — far above the default hedge threshold, so a
+// hedged read wins long before the straggler answers.
+const ShardFaultDelay = 20 * time.Millisecond
 
 // CalibratedProfile is the default benchmark link: the paper's DSL link
 // scaled 40×. The scaling compensates for ~18 years of CPU scaling between
@@ -167,7 +192,15 @@ type System struct {
 	FS      vfs.FS
 	Rec     *stats.Recorder
 	Store   ssp.BlobStore // the client-side (remote) store
-	Backing *ssp.MemStore // the SSP's backing store
+	Backing *ssp.MemStore // the (first) SSP's backing store
+
+	// Sharded builds (Options.Shards > 1) populate the per-shard views:
+	// Backings[i] is shard i's backing store, Faults[i] its server-side
+	// injection wrapper, and Shard the client-side router the sessions
+	// write through.
+	Backings []*ssp.MemStore
+	Faults   []*ssp.FaultStore
+	Shard    *shard.Store
 
 	// Observability, populated when Options.Trace is set.
 	Metrics      *obs.Registry
@@ -208,40 +241,111 @@ func Build(kind SystemKind, opts Options) (*System, error) {
 	if opts.Trace && opts.Parallel > 1 {
 		return nil, fmt.Errorf("workload: Trace and Parallel are mutually exclusive")
 	}
+	switch opts.ShardFault {
+	case "", "loss", "slow":
+	default:
+		return nil, fmt.Errorf("workload: unknown shard fault scenario %q", opts.ShardFault)
+	}
+	if opts.ShardFault != "" && opts.Shards <= 1 {
+		return nil, fmt.Errorf("workload: shard fault %q needs Shards > 1", opts.ShardFault)
+	}
 	reg, users, err := Enterprise()
 	if err != nil {
 		return nil, err
 	}
 
-	backing := ssp.NewMemStore()
-	server := ssp.NewServer(backing, nil)
-	lis := netsim.Listen(opts.Profile)
-
-	sys := &System{Kind: kind, Backing: backing}
+	sys := &System{Kind: kind}
 	sys.Metrics = obs.NewRegistry()
 	if opts.Trace {
 		sys.Tracer = obs.NewTracer("client")
 		sys.ServerTracer = obs.NewTracer("ssp")
 	}
-	server.Observe(sys.Metrics, sys.ServerTracer)
-	lis.Observe(sys.Metrics)
-	go func() {
-		if err := server.Serve(lis); err != nil {
-			fmt.Fprintf(os.Stderr, "workload: ssp serve: %v\n", err)
-		}
-	}()
-
 	rec := &stats.Recorder{}
-	// The tracer rides along on Dial so even the mount-path RPCs are
-	// traced (nil when Options.Trace is off — tracing disabled).
-	remote, err := ssp.Dial(lis.Dial, rec, sys.Tracer)
-	if err != nil {
-		return nil, err
-	}
-	remote.ObserveMetrics(sys.Metrics)
 
-	// The sessions' store: the raw pipelined connection, optionally
-	// behind a write-behind coalescing layer shared by every session so
+	// startSSP builds one SSP: backing store, fault-injection wrapper,
+	// server, simulated link, and the client-side pipelined connection.
+	startSSP := func() (*ssp.Client, error) {
+		backing := ssp.NewMemStore()
+		fault := ssp.NewFaultStore(backing)
+		server := ssp.NewServer(fault, nil)
+		lis := netsim.Listen(opts.Profile)
+		server.Observe(sys.Metrics, sys.ServerTracer)
+		lis.Observe(sys.Metrics)
+		go func() {
+			if err := server.Serve(lis); err != nil {
+				fmt.Fprintf(os.Stderr, "workload: ssp serve: %v\n", err)
+			}
+		}()
+		// The tracer rides along on Dial so even the mount-path RPCs are
+		// traced (nil when Options.Trace is off — tracing disabled).
+		remote, err := ssp.Dial(lis.Dial, rec, sys.Tracer)
+		if err != nil {
+			return nil, err
+		}
+		remote.ObserveMetrics(sys.Metrics)
+		sys.Backings = append(sys.Backings, backing)
+		sys.Faults = append(sys.Faults, fault)
+		sys.teardown = append(sys.teardown, func() error { return server.Close() })
+		sys.teardown = append(sys.teardown, remote.Close)
+		return remote, nil
+	}
+
+	// The sessions' remote store: one pipelined connection, or a
+	// shard.Store routing over Shards of them.
+	var remote ssp.BlobStore
+	// bootstrapStore is written by the out-of-band bulk bootstrap: the
+	// backing store(s) directly, bypassing the shaped links — but routed
+	// through an identical ring when sharded, so blobs land on the
+	// replicas the client-side ring expects.
+	var bootstrapStore ssp.BlobStore
+	if opts.Shards > 1 {
+		clientBks := make([]shard.Backend, opts.Shards)
+		bootBks := make([]shard.Backend, opts.Shards)
+		for i := 0; i < opts.Shards; i++ {
+			conn, err := startSSP()
+			if err != nil {
+				return nil, errors.Join(err, sys.Close())
+			}
+			id := fmt.Sprintf("s%d", i)
+			clientBks[i] = shard.Backend{ID: id, Store: conn}
+			bootBks[i] = shard.Backend{ID: id, Store: sys.Backings[i]}
+		}
+		r := opts.Replicas
+		if r == 0 {
+			r = 2
+		}
+		if r > opts.Shards {
+			r = opts.Shards
+		}
+		sh, err := shard.New(clientBks, shard.Options{Replicas: r,
+			WriteQuorum: opts.WriteQuorum, HedgeDelay: opts.HedgeDelay,
+			Registry: sys.Metrics})
+		if err != nil {
+			return nil, errors.Join(err, sys.Close())
+		}
+		sys.Shard = sh
+		sys.teardown = append(sys.teardown, sh.Close)
+		remote = sh
+		// Bootstrap writes replicate synchronously (W=R) so the rings
+		// start fully converged.
+		boot, err := shard.New(bootBks, shard.Options{Replicas: r,
+			WriteQuorum: r, HedgeDelay: -1})
+		if err != nil {
+			return nil, errors.Join(err, sys.Close())
+		}
+		bootstrapStore = boot
+	} else {
+		conn, err := startSSP()
+		if err != nil {
+			return nil, errors.Join(err, sys.Close())
+		}
+		remote = conn
+		bootstrapStore = sys.Backings[0]
+	}
+	sys.Backing = sys.Backings[0]
+
+	// The sessions' store: the remote store, optionally behind a
+	// write-behind coalescing layer shared by every session so
 	// cross-session read-after-write stays coherent (reads flush first).
 	var store ssp.BlobStore = remote
 	if opts.WriteBehind {
@@ -249,8 +353,27 @@ func Build(kind SystemKind, opts Options) (*System, error) {
 	}
 
 	sys.Rec, sys.Store = rec, store
-	sys.teardown = append(sys.teardown, func() error { return server.Close() })
-	sys.teardown = append(sys.teardown, remote.Close)
+
+	// sealBootstrap finishes the out-of-band setup: it settles the
+	// bootstrap router (waits out its background replica writes) and only
+	// then arms the requested fault scenario on shard s0 — injection must
+	// never corrupt the ground-truth state, only what the client is
+	// served afterwards.
+	sealBootstrap := func() error {
+		if boot, ok := bootstrapStore.(*shard.Store); ok {
+			if err := boot.Close(); err != nil {
+				return err
+			}
+		}
+		switch opts.ShardFault {
+		case "loss":
+			sys.Faults[0].AddRule(ssp.FaultRule{Mode: ssp.FaultWriteErr})
+			sys.Faults[0].AddRule(ssp.FaultRule{Mode: ssp.FaultDrop})
+		case "slow":
+			sys.Faults[0].AddRule(ssp.FaultRule{Mode: ssp.FaultSlow, Delay: ShardFaultDelay})
+		}
+		return nil
+	}
 
 	const fsid = "benchfs"
 	alice := users["alice"]
@@ -263,9 +386,12 @@ func Build(kind SystemKind, opts Options) (*System, error) {
 		// Bootstrap in bulk directly against the backing store (the
 		// migration tool runs out-of-band; only client traffic should
 		// be shaped and measured).
-		if err := migrate.Bootstrap(migrate.Options{Store: backing, Registry: reg, Layout: eng,
+		if err := migrate.Bootstrap(migrate.Options{Store: bootstrapStore, Registry: reg, Layout: eng,
 			FSID: fsid, RootOwner: "alice", RootGroup: "eng", RootPerm: 0o755,
 			BlockSize: opts.BlockSize}); err != nil {
+			return nil, errors.Join(err, sys.Close())
+		}
+		if err := sealBootstrap(); err != nil {
 			return nil, errors.Join(err, sys.Close())
 		}
 		sys.mount = func() (vfs.FS, error) {
@@ -286,7 +412,10 @@ func Build(kind SystemKind, opts Options) (*System, error) {
 		if err != nil {
 			return nil, errors.Join(err, sys.Close())
 		}
-		if err := baseline.Bootstrap(backing, mode, fsid, reg, "alice", "eng", 0o755); err != nil {
+		if err := baseline.Bootstrap(bootstrapStore, mode, fsid, reg, "alice", "eng", 0o755); err != nil {
+			return nil, errors.Join(err, sys.Close())
+		}
+		if err := sealBootstrap(); err != nil {
 			return nil, errors.Join(err, sys.Close())
 		}
 		sys.mount = func() (vfs.FS, error) {
