@@ -22,7 +22,7 @@ FUZZ_TARGETS := \
 
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet vet-self vet-json vet-baseline vet-diff race fuzz-smoke bench-compare check
+.PHONY: all build test vet vet-self vet-json vet-baseline vet-diff race chaos-smoke fuzz-smoke bench-compare check
 
 all: build
 
@@ -70,9 +70,21 @@ vet-json:
 
 # race runs the packages with dedicated concurrency stress tests under
 # the race detector (internal/analysis for its parallel package loader,
-# internal/shard for concurrent quorum ops during live rebalancing).
+# internal/shard for concurrent quorum ops during live rebalancing and
+# the self-heal stress test, internal/resilience and internal/netsim for
+# the retry and sever paths).
 race:
-	$(GO) test -race ./internal/client ./internal/ssp ./internal/cache ./internal/obs ./internal/analysis ./internal/shard
+	$(GO) test -race ./internal/client ./internal/ssp ./internal/cache ./internal/obs ./internal/analysis ./internal/shard ./internal/netsim ./internal/resilience
+
+# chaos-smoke runs a short fixed-seed chaos campaign — connection drops,
+# slow replicas and injected write errors against the 3-shard R=2 W=1
+# self-healing stack — under the race detector, then validates the
+# machine-readable verdict (checkreport fails a diverged campaign). The
+# seed is fixed so a failure replays; see docs/RESILIENCE.md.
+CHAOS_SPEC ?= 42,10s,mixed
+chaos-smoke:
+	$(GO) run -race ./cmd/sharoes-bench -chaos $(CHAOS_SPEC) -json chaos-report.json
+	$(GO) run ./cmd/checkreport chaos-report.json
 
 # bench-compare proves the committed artifacts' claims. First the
 # transport claim: the parallel pipelined + write-behind run must beat

@@ -62,17 +62,32 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("%s: ok (%s, figure %s, %d rows%s)\n", path, rep.Schema, rep.Figure, len(rep.Rows), shardDesc(rep))
+		// A chaos report that validated structurally can still carry a
+		// failing verdict; validate mode gates on it so CI needs no extra
+		// step to fail a diverged campaign.
+		if rep.Chaos != nil && !rep.Chaos.Pass {
+			log.Fatalf("%s: chaos campaign failed: %d/%d durable keys diverged",
+				path, rep.Chaos.Diverged, rep.Chaos.Keys)
+		}
 	}
 }
 
-// shardDesc renders the report's sharding configuration, if any.
+// shardDesc renders the report's sharding and resilience configuration,
+// if any.
 func shardDesc(rep workload.BenchReport) string {
-	if rep.Shards <= 1 {
-		return ""
+	s := ""
+	if rep.Shards > 1 {
+		s = fmt.Sprintf(", shards=%d r=%d w=%d", rep.Shards, rep.Replicas, rep.WriteQuorum)
+		if rep.ShardFault != "" {
+			s += " fault=" + rep.ShardFault
+		}
 	}
-	s := fmt.Sprintf(", shards=%d r=%d w=%d", rep.Shards, rep.Replicas, rep.WriteQuorum)
-	if rep.ShardFault != "" {
-		s += " fault=" + rep.ShardFault
+	if rep.SelfHeal {
+		s += " self-heal"
+	}
+	if c := rep.Chaos; c != nil {
+		s += fmt.Sprintf(", chaos seed=%d severs=%d redials=%d keys=%d diverged=%d pass=%v",
+			c.Seed, c.Severs, c.Redials, c.Keys, c.Diverged, c.Pass)
 	}
 	return s
 }

@@ -44,11 +44,19 @@ func main() {
 	replicas := flag.Int("replicas", 2, "shard replication factor R (with -shards > 1; clamped to the shard count)")
 	writeQuorum := flag.Int("write-quorum", 0, "shard write quorum W (0 = majority of R)")
 	hedge := flag.Duration("hedge", 0, "sharded read hedge threshold (0 = shard.Store default, negative disables hedging)")
-	shardFault := flag.String("shard-fault", "", "inject a whole-shard fault after bootstrap: loss (shard refuses writes, drops reads) or slow (shard delays every read)")
+	shardFault := flag.String("shard-fault", "", "inject a whole-shard fault after bootstrap: loss (shard refuses writes, drops reads), slow (shard delays every read), drop (shard's connections severed once mid-run) or flap (shard's link severed periodically; drop/flap imply -self-heal)")
+	selfHeal := flag.Bool("self-heal", false, "build the self-healing transport stack: reconnecting per-shard clients with per-call deadlines and classified read retries")
+	chaos := flag.String("chaos", "", "instead of a figure, run a chaos campaign: seed[,duration[,profile]] — e.g. 42,10s,mixed (profiles: mixed, drops, slow, writes)")
 	flag.Parse()
 
 	if *parallel > 1 && *tracePath != "" {
 		log.Fatalf("-trace and -parallel are mutually exclusive (a tracer follows one operation tree at a time)")
+	}
+	if *chaos != "" {
+		if err := runChaos(*chaos, *jsonPath); err != nil {
+			log.Fatalf("chaos: %v", err)
+		}
+		return
 	}
 
 	var prof netsim.Profile
@@ -91,7 +99,7 @@ func main() {
 		Options: workload.Options{Profile: prof, CacheBytes: -1, Scheme: *scheme,
 			Parallel: *parallel, WriteBehind: *wb,
 			Shards: *shards, Replicas: effReplicas, WriteQuorum: *writeQuorum,
-			HedgeDelay: *hedge, ShardFault: *shardFault},
+			HedgeDelay: *hedge, ShardFault: *shardFault, SelfHeal: *selfHeal},
 		Scale: *scale,
 		Reps:  *reps,
 	}
@@ -111,6 +119,7 @@ func main() {
 			rep.Parallel = *parallel
 		}
 		rep.WriteBehind = *wb
+		rep.SelfHeal = *selfHeal || *shardFault == "drop" || *shardFault == "flap"
 		if *shards > 1 {
 			rep.Shards = *shards
 			rep.Replicas = effReplicas
@@ -139,6 +148,9 @@ func main() {
 		if *shardFault != "" {
 			mode += " fault=" + *shardFault
 		}
+	}
+	if *selfHeal || *shardFault == "drop" || *shardFault == "flap" {
+		mode += " self-heal"
 	}
 	fmt.Printf("sharoes-bench: profile=%s scale=1/%d scheme=%s%s\n\n", *profile, *scale, *scheme, mode)
 
@@ -216,6 +228,65 @@ func main() {
 		workload.PrintScheme(os.Stdout, rows)
 		return nil
 	})
+}
+
+// runChaos parses a "seed[,duration[,profile]]" spec, runs the chaos
+// campaign, prints the verdict and optionally writes the JSON report.
+// The process exits non-zero when the campaign does not pass.
+func runChaos(spec, jsonPath string) error {
+	opts := workload.ChaosOptions{}
+	parts := strings.Split(spec, ",")
+	if len(parts) > 3 {
+		return fmt.Errorf("bad chaos spec %q (want seed[,duration[,profile]])", spec)
+	}
+	seed, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad chaos seed %q: %w", parts[0], err)
+	}
+	opts.Seed = seed
+	if len(parts) > 1 {
+		d, err := time.ParseDuration(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return fmt.Errorf("bad chaos duration %q: %w", parts[1], err)
+		}
+		opts.Duration = d
+	}
+	if len(parts) > 2 {
+		opts.Profile = strings.TrimSpace(parts[2])
+		switch opts.Profile {
+		case workload.ChaosMixed, workload.ChaosDrops, workload.ChaosSlow, workload.ChaosWrite:
+		default:
+			return fmt.Errorf("unknown chaos profile %q", opts.Profile)
+		}
+	}
+
+	res, err := workload.RunChaos(opts)
+	if err != nil {
+		return err
+	}
+	s := res.Summary
+	fmt.Printf("chaos: seed=%d profile=%s workers=%d\n", s.Seed, s.Profile, s.Workers)
+	fmt.Printf("  injected: severs=%d fault-windows=%d\n", s.Severs, s.Faults)
+	fmt.Printf("  healed:   redials=%d retries=%d breaker-opens=%d degraded-barriers=%d\n",
+		s.Redials, s.Retries, s.Breaker, s.Degraded)
+	fmt.Printf("  verdict:  ops=%d keys=%d diverged=%d pass=%v\n", s.Ops, s.Keys, s.Diverged, s.Pass)
+	if jsonPath != "" {
+		rep := workload.ChaosReport(res)
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := workload.WriteReport(f, rep); err != nil {
+			return errors.Join(err, f.Close())
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if !s.Pass {
+		return fmt.Errorf("campaign failed: %d/%d durable keys diverged", s.Diverged, s.Keys)
+	}
+	return nil
 }
 
 // captureTrace runs a traced SHAROES Create-and-List and exports the

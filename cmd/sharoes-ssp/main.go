@@ -31,6 +31,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -43,8 +44,9 @@ func main() {
 	addr := flag.String("addr", ":7070", "listen address, or a comma-separated list to serve one independent shard store per address")
 	storeKind := flag.String("store", "mem", "storage backend: mem or disk")
 	dir := flag.String("dir", "./ssp-data", "data directory for -store disk")
-	debugAddr := flag.String("debug-addr", "", "optional debug HTTP address serving /metrics and /debug/pprof/")
+	debugAddr := flag.String("debug-addr", "", "optional debug HTTP address serving /metrics, /sever and /debug/pprof/")
 	grace := flag.Duration("grace", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
+	faultSpec := flag.String("fault", "", "arm server-side fault rules for resilience testing, comma-separated idx:mode[:arg] — modes: writeerr, slow:<dur>, drop, flap:<n> (e.g. 0:writeerr,1:slow:5ms,2:flap:25)")
 	flag.Parse()
 
 	addrs := splitAddrs(*addr)
@@ -70,6 +72,11 @@ func main() {
 		}
 	}
 
+	faults, err := parseFaults(*faultSpec, len(addrs))
+	if err != nil {
+		log.Fatalf("sharoes-ssp: %v", err)
+	}
+
 	reg := obs.NewRegistry()
 	servers := make([]*ssp.Server, len(addrs))
 	listeners := make([]net.Listener, len(addrs))
@@ -78,18 +85,32 @@ func main() {
 		if err != nil {
 			log.Fatalf("sharoes-ssp: %v", err)
 		}
+		var fstore *ssp.FaultStore
+		if len(faults[i]) > 0 {
+			fstore = ssp.NewFaultStore(store)
+			for _, r := range faults[i] {
+				fstore.AddRule(r)
+			}
+			store = fstore
+		}
 		lis, err := net.Listen("tcp", a)
 		if err != nil {
 			log.Fatalf("sharoes-ssp: listen %s: %v", a, err)
 		}
 		server := ssp.NewServer(store, log.New(os.Stderr, fmt.Sprintf("ssp[%d]: ", i), log.LstdFlags))
 		server.Observe(reg, nil)
+		if fstore != nil {
+			// Connection fault modes sever this server's live conns; the
+			// listener stays up so self-healing clients can redial.
+			fstore.OnSever(func() { server.SeverConns() })
+			fmt.Printf("sharoes-ssp: shard %d armed with %d fault rule(s)\n", i, len(faults[i]))
+		}
 		servers[i], listeners[i] = server, lis
 		fmt.Printf("sharoes-ssp: serving %s store on %s\n", *storeKind, lis.Addr())
 	}
 
 	if *debugAddr != "" {
-		go serveDebug(*debugAddr, reg)
+		go serveDebug(*debugAddr, reg, servers)
 	}
 
 	done := make(chan os.Signal, 1)
@@ -132,16 +153,73 @@ func splitAddrs(s string) []string {
 	return out
 }
 
+// parseFaults parses the -fault flag into per-shard rule lists.
+func parseFaults(spec string, shards int) ([][]ssp.FaultRule, error) {
+	out := make([][]ssp.FaultRule, shards)
+	if spec == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.SplitN(strings.TrimSpace(part), ":", 3)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("bad fault %q (want idx:mode[:arg])", part)
+		}
+		idx, err := strconv.Atoi(fields[0])
+		if err != nil || idx < 0 || idx >= shards {
+			return nil, fmt.Errorf("bad fault shard index %q (%d shards)", fields[0], shards)
+		}
+		arg := ""
+		if len(fields) == 3 {
+			arg = fields[2]
+		}
+		var rule ssp.FaultRule
+		switch fields[1] {
+		case "writeerr":
+			rule.Mode = ssp.FaultWriteErr
+		case "slow":
+			rule.Mode = ssp.FaultSlow
+			if rule.Delay, err = time.ParseDuration(arg); err != nil {
+				return nil, fmt.Errorf("bad slow delay %q: %w", arg, err)
+			}
+		case "drop":
+			rule.Mode = ssp.FaultConnDrop
+		case "flap":
+			rule.Mode = ssp.FaultFlap
+			if arg != "" {
+				if rule.Every, err = strconv.Atoi(arg); err != nil || rule.Every < 1 {
+					return nil, fmt.Errorf("bad flap period %q", arg)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("unknown fault mode %q", fields[1])
+		}
+		out[idx] = append(out[idx], rule)
+	}
+	return out, nil
+}
+
 // serveDebug runs the optional operator endpoint. It must never be
 // exposed on the service address: pprof handlers are for trusted
 // operators only.
-func serveDebug(addr string, reg *obs.Registry) {
+func serveDebug(addr string, reg *obs.Registry, servers []*ssp.Server) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := reg.WriteJSON(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
+	})
+	mux.HandleFunc("/sever", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		total := 0
+		for _, s := range servers {
+			total += s.SeverConns()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"severed\": %d}\n", total)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -67,12 +67,13 @@ func TestLockBalance(t *testing.T) {
 
 func TestGoLeak(t *testing.T) {
 	bad := runOne(t, GoLeak{}, "goleakbad")
-	if len(bad) != 2 {
-		t.Fatalf("goleakbad: got %d findings, want 2:\n%s", len(bad), findingsText(bad))
+	if len(bad) != 3 {
+		t.Fatalf("goleakbad: got %d findings, want 3:\n%s", len(bad), findingsText(bad))
 	}
 	wantSubstr := []string{
 		"goroutine drain",       // method spawn from the constructor
 		"goroutine Watch.func1", // literal ranging over an unclosed channel
+		"goroutine redialLoop",  // reconnect-style dial loop with no Close
 	}
 	for i, f := range bad {
 		if f.Analyzer != "goleak" {
@@ -86,7 +87,8 @@ func TestGoLeak(t *testing.T) {
 		}
 	}
 	// goleakgood covers one exemption per shutdown edge: owner Close
-	// closing the select channel, WaitGroup join, context cancel.
+	// closing the select channel, WaitGroup join, context cancel — and
+	// the healed redial-loop shape (Close closing the stop channel).
 	if good := runOne(t, GoLeak{}, "goleakgood"); len(good) != 0 {
 		t.Fatalf("goleakgood: unexpected findings:\n%s", findingsText(good))
 	}

@@ -38,3 +38,28 @@ func Watch(updates chan int, f func(int)) {
 		}
 	}()
 }
+
+// Redialer mirrors a reconnect-client dial loop gone wrong: the
+// goroutine redials forever and the owner exposes no Close, no stop
+// channel, no context — nothing ever ends the loop.
+type Redialer struct {
+	dial func() (int, error)
+	conn chan int
+}
+
+// NewRedialer leaks its redial loop.
+func NewRedialer(dial func() (int, error)) *Redialer {
+	r := &Redialer{dial: dial, conn: make(chan int)}
+	go r.redialLoop()
+	return r
+}
+
+func (r *Redialer) redialLoop() {
+	for {
+		c, err := r.dial()
+		if err != nil {
+			continue
+		}
+		r.conn <- c
+	}
+}

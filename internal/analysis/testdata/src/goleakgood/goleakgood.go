@@ -114,3 +114,42 @@ func (h *Hedger) Close() {
 	h.wg.Wait()
 	close(h.results)
 }
+
+// Redialer is the healed redial-loop shape: same retry loop, but the
+// owner's Close closes the stop channel the loop selects on.
+type Redialer struct {
+	dial func() (int, error)
+	conn chan int
+	stop chan struct{}
+}
+
+// NewRedialer's loop exits when Close fires.
+func NewRedialer(dial func() (int, error)) *Redialer {
+	r := &Redialer{dial: dial, conn: make(chan int, 1), stop: make(chan struct{})}
+	go r.redialLoop()
+	return r
+}
+
+func (r *Redialer) redialLoop() {
+	for {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		c, err := r.dial()
+		if err != nil {
+			continue
+		}
+		select {
+		case r.conn <- c:
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// Close is the shutdown edge for the redial loop.
+func (r *Redialer) Close() {
+	close(r.stop)
+}

@@ -212,12 +212,18 @@ func (d *pipeDir) closeWrite() {
 }
 
 // Conn is one endpoint of a shaped pipe. It implements net.Conn.
-// Deadlines are accepted but not enforced; the Sharoes client does not use
-// them and the simulator's sleeps are bounded by construction.
+// Deadlines are accepted but not enforced; the ssp client's per-call
+// deadlines are timer-based (ssp.ErrDeadline) rather than conn-based,
+// and the simulator's sleeps are bounded by construction.
 type Conn struct {
 	name string
 	out  *pipeDir // direction we write to
 	in   *pipeDir // direction we read from
+
+	// onClose, when set, runs exactly once on the first Close — the
+	// owning Listener uses it to drop the conn from its live set.
+	closeOnce sync.Once
+	onClose   func()
 }
 
 // Read implements net.Conn.
@@ -229,6 +235,11 @@ func (c *Conn) Write(b []byte) (int, error) { return c.out.write(b) }
 // Close implements net.Conn. It closes both directions: the peer's reads
 // see EOF after draining, and our own blocked reads return.
 func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		if c.onClose != nil {
+			c.onClose()
+		}
+	})
 	c.out.closeWrite()
 	c.in.closeWrite()
 	return nil
@@ -275,6 +286,9 @@ type Listener struct {
 	closed  bool
 	done    chan struct{}
 	reg     *obs.Registry
+	// live tracks the client ends of dialed conns so SeverConns can cut
+	// every link at once; entries remove themselves on Close.
+	live map[*Conn]struct{}
 }
 
 // Observe attaches a metrics registry (nil detaches). Subsequent dials
@@ -285,7 +299,8 @@ func (l *Listener) Observe(reg *obs.Registry) { l.reg = reg }
 
 // Listen creates a Listener whose connections are shaped by p.
 func Listen(p Profile) *Listener {
-	return &Listener{profile: p, ch: make(chan net.Conn, 16), done: make(chan struct{})}
+	return &Listener{profile: p, ch: make(chan net.Conn, 16), done: make(chan struct{}),
+		live: make(map[*Conn]struct{})}
 }
 
 // Dial creates a new shaped connection to the listener and returns the
@@ -302,12 +317,45 @@ func (l *Listener) Dial() (net.Conn, error) {
 		client.out.bytes = l.reg.Counter("netsim.bytes_up")
 		client.in.bytes = l.reg.Counter("netsim.bytes_down")
 	}
+	client.onClose = func() {
+		l.mu.Lock()
+		delete(l.live, client)
+		l.mu.Unlock()
+	}
+	l.mu.Lock()
+	l.live[client] = struct{}{}
+	l.mu.Unlock()
 	select {
 	case l.ch <- server:
 		return client, nil
 	case <-l.done:
+		client.onClose() // never handed out; untrack without severing
 		return nil, net.ErrClosed
 	}
+}
+
+// SeverConns force-closes every live connection dialed through this
+// listener and reports how many were cut. The listener itself stays up,
+// so redials succeed — this models a transient network partition (the
+// FaultConnDrop / FaultFlap fault modes), not an outage of the SSP.
+func (l *Listener) SeverConns() int {
+	l.mu.Lock()
+	conns := make([]*Conn, 0, len(l.live))
+	for c := range l.live {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	for _, c := range conns {
+		if err := c.Close(); err != nil {
+			// Conn.Close never fails today; keep the contract honest if
+			// that changes.
+			panic(fmt.Sprintf("netsim: sever close: %v", err))
+		}
+	}
+	if l.reg != nil && len(conns) > 0 {
+		l.reg.Counter("netsim.severs").Add(int64(len(conns)))
+	}
+	return len(conns)
 }
 
 // Accept implements net.Listener.

@@ -1,0 +1,113 @@
+package netsim
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"github.com/sharoes/sharoes/internal/obs"
+)
+
+// TestSeverConns cuts every live conn at once: reads on the peer ends
+// fail, the listener itself stays dialable, and already-closed conns are
+// not double-counted by a second sever.
+func TestSeverConns(t *testing.T) {
+	reg := obs.NewRegistry()
+	l := Listen(Unlimited)
+	l.Observe(reg)
+	t.Cleanup(func() { l.Close() })
+
+	c1, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Accept(); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := l.SeverConns(); n != 2 {
+		t.Fatalf("SeverConns = %d, want 2", n)
+	}
+	if n := reg.Counter("netsim.severs").Value(); n != 2 {
+		t.Fatalf("netsim.severs = %d, want 2", n)
+	}
+
+	// The server end of a severed link reads EOF (possibly after
+	// draining whatever was in flight — nothing here).
+	buf := make([]byte, 8)
+	if _, err := s1.Read(buf); err != io.EOF {
+		t.Fatalf("server read on severed conn = %v, want io.EOF", err)
+	}
+	// The severed client ends refuse further writes.
+	if _, err := c1.Write([]byte("x")); err == nil {
+		t.Fatal("write on severed conn succeeded")
+	}
+	if _, err := c2.Write([]byte("x")); err == nil {
+		t.Fatal("write on severed conn succeeded")
+	}
+
+	// The listener survives the partition: a redial works, and a second
+	// sever counts only the live conn (the dead ones untracked
+	// themselves on close).
+	c3, err := l.Dial()
+	if err != nil {
+		t.Fatalf("redial after sever: %v", err)
+	}
+	if _, err := l.Accept(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c3.Write([]byte("hello")); err != nil {
+		t.Fatalf("write on fresh conn: %v", err)
+	}
+	if n := l.SeverConns(); n != 1 {
+		t.Fatalf("second SeverConns = %d, want 1 (only the redialed conn)", n)
+	}
+}
+
+// TestSeverConnsEmpty: severing with nothing live is a counted no-op of
+// zero.
+func TestSeverConnsEmpty(t *testing.T) {
+	reg := obs.NewRegistry()
+	l := Listen(Unlimited)
+	l.Observe(reg)
+	t.Cleanup(func() { l.Close() })
+	if n := l.SeverConns(); n != 0 {
+		t.Fatalf("SeverConns on idle listener = %d, want 0", n)
+	}
+	if n := reg.Counter("netsim.severs").Value(); n != 0 {
+		t.Fatalf("netsim.severs = %d, want 0", n)
+	}
+}
+
+// TestConnCloseIdempotent: double Close must not panic or double-count
+// the live map (SeverConns relies on closeOnce).
+func TestConnCloseIdempotent(t *testing.T) {
+	l := Listen(Unlimited)
+	t.Cleanup(func() { l.Close() })
+	c, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Accept(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+	// Give the bookkeeping a beat, then confirm nothing is left to cut.
+	time.Sleep(time.Millisecond)
+	if n := l.SeverConns(); n != 0 {
+		t.Fatalf("SeverConns after close = %d, want 0", n)
+	}
+}

@@ -1,0 +1,101 @@
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker machine.
+type breakerState uint8
+
+const (
+	bkClosed breakerState = iota
+	bkOpen
+	bkHalfOpen
+)
+
+// breakerTransition reports what a breaker did in response to allow or
+// record, so the Store can count transitions without the breaker holding
+// a registry reference.
+type breakerTransition uint8
+
+const (
+	bkNone breakerTransition = iota
+	bkOpened
+	// bkReopened is a half-open probe failing back to open. It is a
+	// distinct transition so the open_now gauge — already incremented by
+	// the bkOpened that started this outage — is not incremented again.
+	bkReopened
+	bkClosedAgain
+	bkProbing
+)
+
+// breaker is one backend's circuit: consecutive failures open it, an
+// open breaker rejects traffic until its cooldown elapses, then a single
+// half-open probe either closes it (success) or re-opens it (failure).
+// Replica walks skip open breakers — the hedge to the next replica fires
+// immediately instead of waiting out a sick backend — but writes are
+// never skipped (durability beats latency) and a fully-open replica set
+// fails open (see hedgedGet), so the breaker can only reorder work,
+// never lose it.
+type breaker struct {
+	mu       sync.Mutex
+	state    breakerState
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+}
+
+// allow reports whether a request may be sent, transitioning open →
+// half-open once cooldown has elapsed (the request then serves as the
+// probe).
+func (b *breaker) allow(now time.Time, cooldown time.Duration) (bool, breakerTransition) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case bkClosed:
+		return true, bkNone
+	case bkOpen:
+		if now.Sub(b.openedAt) >= cooldown {
+			b.state = bkHalfOpen
+			return true, bkProbing
+		}
+		return false, bkNone
+	default: // bkHalfOpen: one probe is already out
+		return false, bkNone
+	}
+}
+
+// record feeds one request outcome back. A success closes the breaker
+// from any state; a failure re-opens a half-open breaker immediately and
+// opens a closed one after threshold consecutive failures.
+func (b *breaker) record(ok bool, threshold int, now time.Time) breakerTransition {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.fails = 0
+		if b.state != bkClosed {
+			b.state = bkClosed
+			return bkClosedAgain
+		}
+		return bkNone
+	}
+	switch b.state {
+	case bkHalfOpen:
+		b.state = bkOpen
+		b.openedAt = now
+		return bkReopened
+	case bkClosed:
+		b.fails++
+		if b.fails >= threshold {
+			b.state = bkOpen
+			b.openedAt = now
+			b.fails = 0
+			return bkOpened
+		}
+	case bkOpen:
+		// A straggler (or fail-open traffic) failed while already open;
+		// just refresh the cooldown origin.
+		b.openedAt = now
+	}
+	return bkNone
+}

@@ -35,10 +35,28 @@ type Options struct {
 	HedgeDelay time.Duration
 	// Vnodes per shard on the ring (default DefaultVnodes).
 	Vnodes int
+	// BreakerThreshold opens a backend's circuit breaker after this many
+	// consecutive failures (default 5; <0 disables breakers). An open
+	// breaker is skipped in read replica walks — the hedge to the next
+	// replica fires immediately — until BreakerCooldown (default 25ms)
+	// elapses and a half-open probe either closes or re-opens it. Writes
+	// are never skipped, and a read whose healthy replicas all miss falls
+	// back to the skipped ones, so breakers reorder work but never lose
+	// it.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// BgLimit bounds the concurrent best-effort background goroutines
+	// (quorum-remainder drains, read repairs, old-ring writes; default
+	// 64, <0 unbounded). Tasks beyond the limit are shed and counted in
+	// shard.put.bg_shed; the quorum-carrying replica writes themselves
+	// are never shed.
+	BgLimit int
 	// Registry, when non-nil, receives shard metrics: shard.put.quorum /
-	// shard.put.bg_fail / shard.get.hedged / shard.get.hedge_won /
-	// shard.get.fallback / shard.repair / shard.repair_fail counters and
-	// the shard.rebalance.moved counter.
+	// shard.put.bg_fail / shard.put.bg_shed / shard.get.hedged /
+	// shard.get.hedge_won / shard.get.fallback / shard.repair /
+	// shard.repair_fail / shard.breaker.* counters, the
+	// shard.breaker.open_now gauge, and the shard.rebalance.moved
+	// counter.
 	Registry *obs.Registry
 }
 
@@ -63,6 +81,15 @@ func (o *Options) defaults(n int) error {
 	}
 	if o.Vnodes <= 0 {
 		o.Vnodes = DefaultVnodes
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown == 0 {
+		o.BreakerCooldown = 25 * time.Millisecond
+	}
+	if o.BgLimit == 0 {
+		o.BgLimit = 64
 	}
 	return nil
 }
@@ -114,6 +141,15 @@ type Store struct {
 	// or already listed) or entirely after (the newer value overwrites
 	// the streamed copy) — never interleaved with it.
 	streamMu sync.RWMutex
+
+	// breakers holds one circuit per backend ID, created lazily (shards
+	// added by a rebalance get theirs on first use); nil when disabled.
+	brmu     sync.Mutex
+	breakers map[string]*breaker
+
+	// bgSem bounds best-effort background goroutines (see Options.BgLimit);
+	// nil means unbounded.
+	bgSem chan struct{}
 }
 
 var _ ssp.BlobStore = (*Store)(nil)
@@ -140,6 +176,12 @@ func New(backends []Backend, opt Options) (*Store, error) {
 	}
 	s := &Store{opt: opt, ring: ring, backends: m}
 	s.idle = sync.NewCond(&s.mu)
+	if opt.BreakerThreshold > 0 {
+		s.breakers = make(map[string]*breaker, len(backends))
+	}
+	if opt.BgLimit > 0 {
+		s.bgSem = make(chan struct{}, opt.BgLimit)
+	}
 	return s, nil
 }
 
@@ -248,6 +290,86 @@ func (s *Store) taskDone() {
 	s.mu.Unlock()
 }
 
+// bg runs f like spawn when a background slot is free; otherwise the task
+// is shed (dropped) and counted in shard.put.bg_shed. Only best-effort
+// work may come through here — remainder drains, straggler listeners,
+// read repairs, old-ring writes — whose loss costs a repairable replica
+// copy or a metric, never an acked write.
+func (s *Store) bg(f func()) {
+	if s.bgSem == nil {
+		s.spawn(f)
+		return
+	}
+	select {
+	case s.bgSem <- struct{}{}:
+		s.spawn(func() {
+			defer func() { <-s.bgSem }()
+			f()
+		})
+	default:
+		s.count("shard.put.bg_shed")
+	}
+}
+
+// breakerFor returns (lazily creating) id's breaker; nil when disabled.
+// The enabled check reads immutable Options, not the map, so it needs no
+// lock.
+func (s *Store) breakerFor(id string) *breaker {
+	if s.opt.BreakerThreshold <= 0 {
+		return nil
+	}
+	s.brmu.Lock()
+	defer s.brmu.Unlock()
+	b := s.breakers[id]
+	if b == nil {
+		b = &breaker{}
+		s.breakers[id] = b
+	}
+	return b
+}
+
+// allowBackend asks id's breaker whether a read should be routed there.
+func (s *Store) allowBackend(id string) bool {
+	b := s.breakerFor(id)
+	if b == nil {
+		return true
+	}
+	ok, tr := b.allow(time.Now(), s.opt.BreakerCooldown)
+	if tr == bkProbing {
+		s.count("shard.breaker.halfopen")
+	}
+	return ok
+}
+
+// observe feeds one backend's request outcome into its breaker, counting
+// state transitions. wire.ErrNotFound is a healthy answer: the backend
+// responded, it just lacks the key.
+func (s *Store) observe(id string, err error) {
+	b := s.breakerFor(id)
+	if b == nil {
+		return
+	}
+	ok := err == nil || errors.Is(err, wire.ErrNotFound)
+	switch b.record(ok, s.opt.BreakerThreshold, time.Now()) {
+	case bkOpened:
+		s.count("shard.breaker.open")
+		s.gaugeAdd("shard.breaker.open_now", 1)
+	case bkReopened:
+		// Same outage, still counted open in the gauge; only the
+		// transition counter ticks.
+		s.count("shard.breaker.open")
+	case bkClosedAgain:
+		s.count("shard.breaker.close")
+		s.gaugeAdd("shard.breaker.open_now", -1)
+	}
+}
+
+func (s *Store) gaugeAdd(name string, d int64) {
+	if s.opt.Registry != nil {
+		s.opt.Registry.Gauge(name).Add(d)
+	}
+}
+
 // setSticky records a background quorum loss for later surfacing.
 func (s *Store) setSticky(err error) {
 	s.mu.Lock()
@@ -312,13 +434,19 @@ func (s *Store) writeOne(ns wire.NS, key string, apply func(ssp.BlobStore) error
 	rs, rebalancing := s.routeWrite(ns, key)
 	results := make(chan error, len(rs.ids))
 	for _, id := range rs.ids {
-		st := rs.stores[id]
-		s.spawn(func() { results <- apply(st) })
+		id, st := id, rs.stores[id]
+		s.spawn(func() {
+			err := apply(st)
+			s.observe(id, err)
+			results <- err
+		})
 	}
 	for _, id := range rs.olds {
-		st := rs.stores[id]
-		s.spawn(func() {
-			if err := apply(st); err != nil {
+		id, st := id, rs.stores[id]
+		s.bg(func() {
+			err := apply(st)
+			s.observe(id, err)
+			if err != nil {
 				s.count("shard.put.bg_fail")
 			}
 		})
@@ -380,7 +508,7 @@ func (s *Store) drainAsync(results chan error, remaining int) {
 	if remaining == 0 {
 		return
 	}
-	s.spawn(func() {
+	s.bg(func() {
 		for i := 0; i < remaining; i++ {
 			if err := <-results; err != nil {
 				s.count("shard.put.bg_fail")
@@ -443,21 +571,50 @@ func (s *Store) Get(ns wire.NS, key string) ([]byte, error) {
 // winner's value is returned; with repairMissing set, replicas that
 // answered not-found (and any not-yet-answered earlier replicas, once
 // they resolve to not-found) are repaired with the winning value.
+//
+// Replicas whose breaker is open are skipped on the first pass — the
+// hedge fires immediately to the next healthy replica — but deferred,
+// not dropped: if every healthy replica fails or misses, the walk
+// restarts over the skipped ones (fail-open), so a durable key can never
+// read as not-found just because its only live holder tripped a breaker.
 func (s *Store) hedgedGet(ns wire.NS, key string, ids []string, stores map[string]ssp.BlobStore, repairMissing bool) ([]byte, error) {
 	if len(ids) == 0 {
 		return nil, wire.ErrNotFound
 	}
 	results := make(chan getResult, len(ids))
+	pool, idx := ids, 0
+	var deferred []string
+	lastResort := false
 	launched := 0
-	launch := func() {
-		id := ids[launched]
-		st := stores[id]
-		launched++
-		s.spawn(func() {
-			v, err := st.Get(ns, key)
-			results <- getResult{id: id, val: v, err: err}
-		})
+	// launch starts the next routable replica, reporting false once every
+	// replica (deferred pool included) has been launched.
+	launch := func() bool {
+		for {
+			if idx >= len(pool) {
+				if lastResort || len(deferred) == 0 {
+					return false
+				}
+				pool, idx, lastResort = deferred, 0, true
+			}
+			id := pool[idx]
+			idx++
+			if !lastResort && !s.allowBackend(id) {
+				s.count("shard.breaker.skip")
+				deferred = append(deferred, id)
+				continue
+			}
+			st := stores[id]
+			launched++
+			s.spawn(func() {
+				v, err := st.Get(ns, key)
+				s.observe(id, err)
+				results <- getResult{id: id, val: v, err: err}
+			})
+			return true
+		}
 	}
+	// The first launch always succeeds: a first pass that skips every
+	// replica flips to the deferred pool inside launch() and fails open.
 	launch()
 
 	var timer *time.Timer
@@ -483,7 +640,7 @@ func (s *Store) hedgedGet(ns wire.NS, key string, ids []string, stores map[strin
 
 	missing := make([]string, 0, len(ids))
 	var firstErr error
-	outstanding := 1
+	outstanding := launched
 	for outstanding > 0 {
 		select {
 		case r := <-results:
@@ -506,15 +663,15 @@ func (s *Store) hedgedGet(ns wire.NS, key string, ids []string, stores map[strin
 					firstErr = r.err
 				}
 			}
-			if launched < len(ids) {
-				launch()
+			if launch() {
 				outstanding++
 				armHedge()
 			}
 		case <-hedgeC:
 			s.count("shard.get.hedged")
-			launch()
-			outstanding++
+			if launch() {
+				outstanding++
+			}
 			armHedge()
 		}
 	}
@@ -532,7 +689,7 @@ func (s *Store) finishRepairs(ns wire.NS, key string, val []byte, missing []stri
 	if outstanding == 0 {
 		return
 	}
-	s.spawn(func() {
+	s.bg(func() {
 		for i := 0; i < outstanding; i++ {
 			r := <-results
 			if errors.Is(r.err, wire.ErrNotFound) {
@@ -547,7 +704,7 @@ func (s *Store) drainGets(results chan getResult, outstanding int) {
 	if outstanding == 0 {
 		return
 	}
-	s.spawn(func() {
+	s.bg(func() {
 		for i := 0; i < outstanding; i++ {
 			<-results
 		}
@@ -560,12 +717,14 @@ func (s *Store) drainGets(results chan getResult, outstanding int) {
 // from its other replicas either way.
 func (s *Store) repair(ns wire.NS, key string, val []byte, ids []string, stores map[string]ssp.BlobStore) {
 	for _, id := range ids {
-		st := stores[id]
+		id, st := id, stores[id]
 		if st == nil {
 			continue
 		}
-		s.spawn(func() {
-			if err := st.Put(ns, key, val); err != nil {
+		s.bg(func() {
+			err := st.Put(ns, key, val)
+			s.observe(id, err)
+			if err != nil {
 				s.count("shard.repair_fail")
 			} else {
 				s.count("shard.repair")
@@ -607,11 +766,12 @@ func (s *Store) List(ns wire.NS, prefix string) ([]wire.KV, error) {
 	for i, id := range ids {
 		wg.Add(1)
 		st := stores[id]
-		go func(i int) {
+		go func(i int, id string) {
 			defer wg.Done()
 			items, err := st.List(ns, prefix)
+			s.observe(id, err)
 			results[i] = listRes{items: items, err: err}
-		}(i)
+		}(i, id)
 	}
 	wg.Wait()
 
@@ -756,6 +916,7 @@ func (s *Store) BatchPut(items []wire.KV) error {
 		go func(id string, batch []wire.KV) {
 			defer wg.Done()
 			err := st.BatchPut(batch)
+			s.observe(id, err)
 			mu.Lock()
 			errs[id] = err
 			mu.Unlock()

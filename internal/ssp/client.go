@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/sharoes/sharoes/internal/obs"
 	"github.com/sharoes/sharoes/internal/stats"
@@ -22,6 +23,13 @@ type Dialer func() (net.Conn, error)
 // closed client.
 var ErrShutdown = errors.New("ssp: client is shut down")
 
+// ErrDeadline is returned (wrapped) for calls that exceeded the client's
+// per-call timeout. The connection itself is left alone: a late reply is
+// dropped silently and the client stays usable. Layers that treat a
+// deadline as evidence of a hung server (the reconnect wrapper does)
+// match it with errors.Is and redial.
+var ErrDeadline = errors.New("ssp: call deadline exceeded")
+
 // Call is one in-flight RPC issued through Client.Go. When the server
 // replies (or the transport fails), the call is delivered on Done.
 type Call struct {
@@ -32,6 +40,19 @@ type Call struct {
 
 	bytesOut int64
 	bytesIn  int64
+
+	// completed makes delivery exactly-once: a deadline expiry, a late
+	// reply, and a terminate can all race to finish the same call, and
+	// only the CAS winner writes Resp/Err and sends Done.
+	completed atomic.Bool
+	// timer is the pending deadline; stopped on delivery. Written under
+	// the client mutex before the call is visible in pending.
+	timer *time.Timer
+	// expired marks a call failed by its deadline but left in pending as
+	// a tombstone: its frame is (or may be) on the wire, so it must keep
+	// its FIFO slot and absorb the eventual reply instead of letting the
+	// reader treat that reply as unsolicited. Guarded by the client mutex.
+	expired bool
 }
 
 // Response returns the reply, folding transport errors and non-OK remote
@@ -77,6 +98,10 @@ type Client struct {
 	// tracer and inflight are read on call paths without c.mu.
 	tracer   atomic.Pointer[obs.Tracer]
 	inflight atomic.Pointer[obs.Gauge]
+	expiries atomic.Pointer[obs.Counter]
+
+	// timeout is the per-call deadline in nanoseconds (0 = none).
+	timeout atomic.Int64
 }
 
 var _ BlobStore = (*Client)(nil)
@@ -122,9 +147,23 @@ func (c *Client) Observe(tracer *obs.Tracer) { c.tracer.Store(tracer) }
 func (c *Client) ObserveMetrics(reg *obs.Registry) {
 	if reg == nil {
 		c.inflight.Store(nil)
+		c.expiries.Store(nil)
 		return
 	}
 	c.inflight.Store(reg.Gauge("ssp.client.inflight"))
+	c.expiries.Store(reg.Counter("ssp.client.deadline_expired"))
+}
+
+// SetCallTimeout arms a per-call deadline: any call not answered within d
+// completes with an error wrapping ErrDeadline. Zero disables deadlines.
+// The writer and reader goroutines are unaffected — a hung server fails
+// the pending call, not the client — and a reply arriving after expiry is
+// discarded silently, leaving the connection usable.
+func (c *Client) SetCallTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.timeout.Store(int64(d))
 }
 
 // Close closes the connection. In-flight and queued calls complete with
@@ -161,6 +200,7 @@ func (c *Client) Go(req *wire.Request, done chan *Call) *Call {
 		if err == nil {
 			err = ErrShutdown
 		}
+		call.completed.Store(true)
 		call.Err = err
 		call.Done <- call
 		return call
@@ -168,6 +208,11 @@ func (c *Client) Go(req *wire.Request, done chan *Call) *Call {
 	c.seq++
 	req.ReqID = c.seq
 	c.pending[req.ReqID] = call
+	// Arm the deadline while the registration lock is held, so every
+	// goroutine that finds the call in pending also sees its timer.
+	if d := c.timeout.Load(); d > 0 {
+		call.timer = time.AfterFunc(time.Duration(d), func() { c.expire(call) })
+	}
 	c.mu.Unlock()
 
 	if g := c.inflight.Load(); g != nil {
@@ -193,9 +238,16 @@ func (c *Client) writeLoop() {
 		case call := <-c.sendq:
 			// Record wire order for ReqID-less reply matching. Skip calls
 			// a concurrent terminate already failed: their frames are
-			// never answered, so they must not occupy a FIFO slot.
+			// never answered, so they must not occupy a FIFO slot. A call
+			// whose deadline expired before its frame was written is
+			// dropped the same way — nothing went out, so no reply will
+			// come and its tombstone can go now.
 			c.mu.Lock()
-			if _, ok := c.pending[call.Req.ReqID]; !ok {
+			if cur, ok := c.pending[call.Req.ReqID]; !ok {
+				c.mu.Unlock()
+				continue
+			} else if cur.expired {
+				delete(c.pending, call.Req.ReqID)
 				c.mu.Unlock()
 				continue
 			}
@@ -253,31 +305,36 @@ func (c *Client) readLoop() {
 			c.terminate(fmt.Errorf("ssp: read: %w", err))
 			return
 		}
-		call := c.take(resp.ReqID)
+		call, expired := c.take(resp.ReqID)
 		if call == nil {
 			// Unsolicited reply: nothing sane to pair it with.
 			c.terminate(fmt.Errorf("ssp: read: %w: unsolicited reply (req %d)", wire.ErrBadMessage, resp.ReqID))
 			return
 		}
-		call.Resp = resp
-		call.bytesIn = int64(n)
-		c.deliver(call)
+		if expired {
+			// The reply to a deadline-expired call finally arrived. The
+			// caller was already failed with ErrDeadline; discard the
+			// payload and keep reading — the connection itself is fine.
+			continue
+		}
+		c.deliver(call, resp, int64(n), nil)
 	}
 }
 
-// take removes and returns the pending call for id (oldest if id is 0).
-func (c *Client) take(id uint64) *Call {
+// take removes and returns the pending call for id (oldest if id is 0),
+// reporting whether it was a deadline-expired tombstone.
+func (c *Client) take(id uint64) (*Call, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if id == 0 {
 		if len(c.fifo) == 0 {
-			return nil
+			return nil, false
 		}
 		id = c.fifo[0]
 	}
 	call, ok := c.pending[id]
 	if !ok {
-		return nil
+		return nil, false
 	}
 	delete(c.pending, id)
 	for i, v := range c.fifo {
@@ -286,12 +343,12 @@ func (c *Client) take(id uint64) *Call {
 			break
 		}
 	}
-	return call
+	return call, call.expired
 }
 
 // failPending completes the pending call id with the sticky stop error.
 func (c *Client) failPending(id uint64) {
-	call := c.take(id)
+	call, _ := c.take(id)
 	if call == nil {
 		return
 	}
@@ -302,8 +359,26 @@ func (c *Client) failPending(id uint64) {
 	if closing || err == nil {
 		err = ErrShutdown
 	}
-	call.Err = err
-	c.deliver(call)
+	c.deliver(call, nil, 0, err)
+}
+
+// expire fails one call with ErrDeadline when its timer fires. The call
+// stays in pending as a tombstone (see Call.expired): its frame may be on
+// the wire, so the slot must survive to swallow the late reply.
+func (c *Client) expire(call *Call) {
+	c.mu.Lock()
+	cur, ok := c.pending[call.Req.ReqID]
+	if !ok || cur != call {
+		// Already answered, failed, or superseded; nothing to do.
+		c.mu.Unlock()
+		return
+	}
+	call.expired = true
+	c.mu.Unlock()
+	if ctr := c.expiries.Load(); ctr != nil {
+		ctr.Inc()
+	}
+	c.deliver(call, nil, 0, ErrDeadline)
 }
 
 // terminate marks the transport broken and fails every pending call.
@@ -326,13 +401,22 @@ func (c *Client) terminate(err error) {
 	c.fifo = c.fifo[:0]
 	c.mu.Unlock()
 	for _, call := range calls {
-		call.Err = err
-		c.deliver(call)
+		// Expired tombstones were already delivered; the CAS in deliver
+		// makes this a no-op for them.
+		c.deliver(call, nil, 0, err)
 	}
 }
 
-// deliver completes a call.
-func (c *Client) deliver(call *Call) {
+// deliver completes a call exactly once: the first of {reply, deadline,
+// terminate} to arrive wins, writes the outcome, and signals Done.
+func (c *Client) deliver(call *Call, resp *wire.Response, bytesIn int64, err error) {
+	if !call.completed.CompareAndSwap(false, true) {
+		return
+	}
+	if call.timer != nil {
+		call.timer.Stop()
+	}
+	call.Resp, call.bytesIn, call.Err = resp, bytesIn, err
 	if g := c.inflight.Load(); g != nil {
 		g.Add(-1)
 	}

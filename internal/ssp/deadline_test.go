@@ -1,0 +1,103 @@
+package ssp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sharoes/sharoes/internal/netsim"
+	"github.com/sharoes/sharoes/internal/obs"
+	"github.com/sharoes/sharoes/internal/wire"
+)
+
+// gateStore blocks Gets of keys containing "slow" until the gate opens,
+// modelling a server stuck on one request.
+type gateStore struct {
+	BlobStore
+	gate chan struct{}
+}
+
+func (g *gateStore) Get(ns wire.NS, key string) ([]byte, error) {
+	if strings.Contains(key, "slow") {
+		<-g.gate
+	}
+	return g.BlobStore.Get(ns, key)
+}
+
+// TestCallDeadlineExpires: a call stuck behind an unresponsive server
+// must fail with ErrDeadline once the per-call timeout elapses — and the
+// connection must remain usable afterwards, the late reply being
+// discarded by the expired call's tombstone rather than corrupting the
+// reply stream.
+func TestCallDeadlineExpires(t *testing.T) {
+	store := &gateStore{BlobStore: NewMemStore(), gate: make(chan struct{})}
+	if err := store.BlobStore.Put(wire.NSData, "slow/k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.BlobStore.Put(wire.NSData, "fast/k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+
+	l := netsim.Listen(netsim.Unlimited)
+	srv := NewServer(store, nil)
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+
+	c, err := Dial(l.Dial, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	reg := obs.NewRegistry()
+	c.ObserveMetrics(reg)
+	c.SetCallTimeout(30 * time.Millisecond)
+
+	start := time.Now()
+	_, err = c.Get(wire.NSData, "slow/k")
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("stuck Get = %v, want ErrDeadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+	if n := reg.Counter("ssp.client.deadline_expired").Value(); n != 1 {
+		t.Fatalf("deadline_expired = %d, want 1", n)
+	}
+
+	// Unstick the server; its late reply for the expired call must be
+	// consumed by the tombstone, leaving the connection healthy.
+	close(store.gate)
+	v, err := c.Get(wire.NSData, "fast/k")
+	if err != nil || string(v) != "v2" {
+		t.Fatalf("Get after expiry = %q, %v; conn should have survived", v, err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping after expiry: %v", err)
+	}
+}
+
+// TestCallDeadlineZeroDisables: without a timeout the call waits out a
+// slow server rather than expiring.
+func TestCallDeadlineZeroDisables(t *testing.T) {
+	store := &gateStore{BlobStore: NewMemStore(), gate: make(chan struct{})}
+	if err := store.BlobStore.Put(wire.NSData, "slow/k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	l := netsim.Listen(netsim.Unlimited)
+	srv := NewServer(store, nil)
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+
+	c, err := Dial(l.Dial, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	time.AfterFunc(50*time.Millisecond, func() { close(store.gate) })
+	v, err := c.Get(wire.NSData, "slow/k")
+	if err != nil || string(v) != "v" {
+		t.Fatalf("Get = %q, %v, want the value once the server unsticks", v, err)
+	}
+}

@@ -37,6 +37,17 @@ const (
 	// exercises the hedged-read path of the shard layer: a slow primary
 	// should lose the race to a hedge sent to a healthy replica.
 	FaultSlow
+	// FaultConnDrop severs every live connection to this backend (via the
+	// OnSever hook) on the first matching operation, then disarms — a
+	// one-shot network partition mid-stream. The operation itself still
+	// executes; it is the response that dies on the cut link, which is
+	// exactly the ambiguity a real drop leaves (did the write land?).
+	FaultConnDrop
+	// FaultFlap severs the link on every Every'th matching operation, for
+	// as long as the rule stays armed — a flapping route. Exercises the
+	// reconnect wrapper's redial loop and the shard breaker's open/close
+	// cycling.
+	FaultFlap
 )
 
 // ErrInjectedWrite is the error FaultWriteErr rules inject on writes.
@@ -51,6 +62,9 @@ type FaultRule struct {
 	KeyPart string        // substring of key; empty matches every key in NS
 	SwapKey string        // FaultSwap: serve this key's value instead
 	Delay   time.Duration // FaultSlow: added latency per matching Get
+	Every   int           // FaultFlap: sever on every Every'th match (default 25)
+
+	hits int // matching ops seen by this conn-fault rule (internal)
 }
 
 // FaultStore wraps a BlobStore with a malicious read path. Writes pass
@@ -64,6 +78,10 @@ type FaultStore struct {
 	history map[string][]byte // first version per ns/key, for rollback
 	// Triggered counts how many reads were maliciously altered.
 	triggered int
+	// sever cuts the transport to this backend (FaultConnDrop/FaultFlap);
+	// wired by OnSever, typically to netsim.Listener.SeverConns or
+	// Server.SeverConns. Called outside mu.
+	sever func()
 }
 
 // NewFaultStore wraps inner.
@@ -92,6 +110,62 @@ func (s *FaultStore) Triggered() int {
 	return s.triggered
 }
 
+// OnSever wires the transport-cutting hook the connection fault modes
+// fire (nil disarms them). The hook runs outside the store's mutex, on
+// the goroutine of the operation that tripped the rule.
+func (s *FaultStore) OnSever(f func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sever = f
+}
+
+// connFault checks (and advances) the connection-fault rules for one
+// matching operation, returning the sever hook to fire, if any. Both read
+// and write paths call it: a link drop is path-agnostic.
+func (s *FaultStore) connFault(ns wire.NS, key string) func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sever == nil {
+		return nil
+	}
+	for i := range s.rules {
+		r := &s.rules[i]
+		if r.Mode != FaultConnDrop && r.Mode != FaultFlap {
+			continue
+		}
+		if (r.NS != 0 && r.NS != ns) || (r.KeyPart != "" && !strings.Contains(key, r.KeyPart)) {
+			continue
+		}
+		r.hits++
+		switch r.Mode {
+		case FaultConnDrop:
+			if r.hits == 1 {
+				s.triggered++
+				return s.sever
+			}
+		case FaultFlap:
+			every := r.Every
+			if every <= 0 {
+				every = 25
+			}
+			if r.hits%every == 0 {
+				s.triggered++
+				return s.sever
+			}
+		}
+	}
+	return nil
+}
+
+// applyConnFault severs the link if a connection-fault rule trips on this
+// operation. The operation proceeds regardless — the cut happens at the
+// transport, so the response (not the store mutation) is what gets lost.
+func (s *FaultStore) applyConnFault(ns wire.NS, key string) {
+	if sever := s.connFault(ns, key); sever != nil {
+		sever()
+	}
+}
+
 func histKey(ns wire.NS, key string) string { return string(rune(ns)) + "/" + key }
 
 // match returns the first armed rule for (ns, key) on the given path.
@@ -102,6 +176,9 @@ func histKey(ns wire.NS, key string) string { return string(rune(ns)) + "/" + ke
 func (s *FaultStore) match(ns wire.NS, key string, write bool) *FaultRule {
 	for i := range s.rules {
 		r := &s.rules[i]
+		if r.Mode == FaultConnDrop || r.Mode == FaultFlap {
+			continue // transport faults; handled by connFault on both paths
+		}
 		if write != (r.Mode == FaultWriteErr) {
 			continue
 		}
@@ -114,6 +191,7 @@ func (s *FaultStore) match(ns wire.NS, key string, write bool) *FaultRule {
 
 // Get implements BlobStore, applying any matching read fault.
 func (s *FaultStore) Get(ns wire.NS, key string) ([]byte, error) {
+	s.applyConnFault(ns, key)
 	s.mu.Lock()
 	rule := s.match(ns, key, false)
 	var rollback []byte
@@ -163,6 +241,7 @@ func (s *FaultStore) Get(ns wire.NS, key string) ([]byte, error) {
 // Put implements BlobStore, recording first versions for rollback and
 // applying any matching write fault.
 func (s *FaultStore) Put(ns wire.NS, key string, val []byte) error {
+	s.applyConnFault(ns, key)
 	s.mu.Lock()
 	if r := s.match(ns, key, true); r != nil {
 		s.triggered++
@@ -180,7 +259,10 @@ func (s *FaultStore) Put(ns wire.NS, key string, val []byte) error {
 }
 
 // Delete implements BlobStore.
-func (s *FaultStore) Delete(ns wire.NS, key string) error { return s.Inner.Delete(ns, key) }
+func (s *FaultStore) Delete(ns wire.NS, key string) error {
+	s.applyConnFault(ns, key)
+	return s.Inner.Delete(ns, key)
+}
 
 // List implements BlobStore. Fault rules are applied per returned item.
 func (s *FaultStore) List(ns wire.NS, prefix string) ([]wire.KV, error) {

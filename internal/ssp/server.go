@@ -131,6 +131,31 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// SeverConns force-closes every live connection without stopping the
+// listeners: clients see their links die mid-stream (in-flight calls
+// fail) and may immediately redial. It is the server-side analogue of
+// netsim.Listener.SeverConns — the fault injection hook behind the
+// connection-drop and flap modes — and is also reachable operationally
+// to kick all clients off a live SSP. Returns the number of connections
+// severed.
+func (s *Server) SeverConns() int {
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		if err := c.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			s.log.Printf("ssp: sever close: %v", err)
+		}
+	}
+	if len(conns) > 0 {
+		s.reg.Counter("ssp.severs").Add(int64(len(conns)))
+	}
+	return len(conns)
+}
+
 // Shutdown drains the server gracefully: it stops accepting new
 // connections, lets requests already being processed finish, then closes
 // everything. Idle connections (parked between requests) are closed

@@ -1,6 +1,7 @@
 package ssp
 
 import (
+	"errors"
 	"sync"
 	"time"
 
@@ -248,9 +249,16 @@ func (w *WriteBehind) barrierLocked() error {
 		// Fan the barrier out: a sharded inner store drains its async
 		// replica writes (and surfaces its own sticky quorum error)
 		// here, so a Barrier means coherence through the whole stack,
-		// not just this buffer.
-		if ierr := f.Barrier(); ierr != nil && err == nil {
-			err = ierr
+		// not just this buffer. Both layers' sticky errors must surface
+		// exactly once — joining keeps the inner one errors.Is-matchable
+		// even when this buffer carries its own flush error (previously
+		// the inner error was silently lost in that case).
+		if ierr := f.Barrier(); ierr != nil {
+			if err == nil {
+				err = ierr
+			} else {
+				err = errors.Join(err, ierr)
+			}
 		}
 	}
 	return err

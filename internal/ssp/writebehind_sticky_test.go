@@ -1,0 +1,93 @@
+package ssp
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/sharoes/sharoes/internal/wire"
+)
+
+// dualErrInner injects one BatchPut failure (becoming the write-behind
+// layer's sticky flush error) and one Barrier failure (modelling a
+// sharded inner store surfacing its own sticky quorum loss), so a single
+// Barrier above sees both layers fail at once.
+type dualErrInner struct {
+	BlobStore
+	mu     sync.Mutex
+	putErr error // returned by the next BatchPut, then cleared
+	barErr error // returned by the next Barrier, then cleared
+}
+
+func (d *dualErrInner) BatchPut(items []wire.KV) error {
+	d.mu.Lock()
+	err := d.putErr
+	d.putErr = nil
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return d.BlobStore.BatchPut(items)
+}
+
+func (d *dualErrInner) Barrier() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	err := d.barErr
+	d.barErr = nil
+	return err
+}
+
+// TestBarrierJoinsBothStickyErrors is the regression test for the
+// dropped-inner-error bug: when the write-behind buffer holds its own
+// deferred flush error AND the inner store's Barrier reports a sticky
+// error, the caller must see both, each still errors.Is-matchable.
+// (Previously the inner error was silently lost whenever the buffer
+// carried a flush error of its own.)
+func TestBarrierJoinsBothStickyErrors(t *testing.T) {
+	flushErr := errors.New("flush boom")
+	innerErr := errors.New("inner quorum loss")
+	inner := &dualErrInner{BlobStore: NewMemStore(), putErr: flushErr, barErr: innerErr}
+	wb := NewWriteBehind(inner, WriteBehindOptions{})
+	t.Cleanup(func() { wb.Close() })
+
+	if err := wb.Put(wire.NSData, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	err := wb.Barrier()
+	if !errors.Is(err, flushErr) {
+		t.Fatalf("Barrier = %v, lost the write-behind flush error", err)
+	}
+	if !errors.Is(err, innerErr) {
+		t.Fatalf("Barrier = %v, lost the inner store's sticky error", err)
+	}
+
+	// Exactly-once: both errors were consumed; a clean second Barrier
+	// reports nothing.
+	if err := wb.Barrier(); err != nil {
+		t.Fatalf("second Barrier = %v, want nil (sticky errors surface once)", err)
+	}
+}
+
+// TestBarrierInnerStickyAlone: with no buffer-level failure the inner
+// Barrier error passes through unmodified (not wrapped in a join).
+func TestBarrierInnerStickyAlone(t *testing.T) {
+	innerErr := errors.New("inner quorum loss")
+	inner := &dualErrInner{BlobStore: NewMemStore(), barErr: innerErr}
+	wb := NewWriteBehind(inner, WriteBehindOptions{})
+	t.Cleanup(func() { wb.Close() })
+
+	if err := wb.Put(wire.NSData, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Barrier(); !errors.Is(err, innerErr) {
+		t.Fatalf("Barrier = %v, want the inner sticky error", err)
+	}
+	if err := wb.Barrier(); err != nil {
+		t.Fatalf("second Barrier = %v, want nil", err)
+	}
+	// The write itself landed despite the barrier error.
+	if v, err := wb.Get(wire.NSData, "k"); err != nil || string(v) != "v" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+}

@@ -66,10 +66,39 @@ type BenchReport struct {
 	// returns).
 	WriteQuorum int `json:"write_quorum,omitempty"`
 	// ShardFault names the injected whole-shard fault scenario the run
-	// survived: "loss" (one shard refusing writes and dropping reads) or
-	// "slow" (one shard delaying every read past the hedge threshold).
-	ShardFault string     `json:"shard_fault,omitempty"`
-	Rows       []BenchRow `json:"rows"`
+	// survived: "loss" (one shard refusing writes and dropping reads),
+	// "slow" (one shard delaying every read past the hedge threshold),
+	// "drop" (one shard's connections severed once mid-run) or "flap"
+	// (one shard's link severed periodically).
+	ShardFault string `json:"shard_fault,omitempty"`
+	// SelfHeal records whether the self-healing transport stack
+	// (reconnecting clients + classified retries + breakers) was built.
+	SelfHeal bool `json:"self_heal,omitempty"`
+	// Chaos carries the chaos-campaign verdict for figure "chaos" runs.
+	Chaos *ChaosSummary `json:"chaos,omitempty"`
+	Rows  []BenchRow    `json:"rows"`
+}
+
+// ChaosSummary is the machine-readable verdict of one chaos campaign
+// (`sharoes-bench -chaos`): what was injected, what converged, and the
+// self-healing counters that prove the transport actually exercised its
+// recovery paths.
+type ChaosSummary struct {
+	Seed     int64  `json:"seed"`
+	Profile  string `json:"profile"`
+	Workers  int    `json:"workers"`
+	Ops      int64  `json:"ops"`      // client operations issued
+	Severs   int64  `json:"severs"`   // connection severs injected
+	Faults   int64  `json:"faults"`   // fault-window arms (slow/writeerr)
+	Redials  int64  `json:"redials"`  // successful reconnects
+	Retries  int64  `json:"retries"`  // resilience-layer retries issued
+	Breaker  int64  `json:"breaker"`  // breaker open transitions
+	Degraded int64  `json:"degraded"` // barriers surfacing classified errors
+	// Keys is how many durable keys the convergence check verified;
+	// Diverged how many came back wrong or missing (must be 0 to pass).
+	Keys     int  `json:"keys"`
+	Diverged int  `json:"diverged"`
+	Pass     bool `json:"pass"`
 }
 
 // benchRow assembles one row from a latency distribution, a total
@@ -148,9 +177,28 @@ func ValidateReport(rep BenchReport) error {
 		return fmt.Errorf("report: shard fields set on a single-SSP run")
 	}
 	switch rep.ShardFault {
-	case "", "loss", "slow":
+	case "", "loss", "slow", "drop", "flap":
 	default:
 		return fmt.Errorf("report: unknown shard fault %q", rep.ShardFault)
+	}
+	if rep.Figure == "chaos" {
+		if rep.Chaos == nil {
+			return fmt.Errorf("report: chaos figure without chaos summary")
+		}
+		c := rep.Chaos
+		if c.Workers < 1 || c.Ops <= 0 || c.Keys <= 0 {
+			return fmt.Errorf("report: chaos summary with empty campaign (workers %d, ops %d, keys %d)",
+				c.Workers, c.Ops, c.Keys)
+		}
+		if c.Severs < 0 || c.Faults < 0 || c.Redials < 0 || c.Retries < 0 ||
+			c.Breaker < 0 || c.Degraded < 0 || c.Diverged < 0 {
+			return fmt.Errorf("report: chaos summary with negative counter")
+		}
+		if c.Pass == (c.Diverged != 0) {
+			return fmt.Errorf("report: chaos pass=%v inconsistent with diverged=%d", c.Pass, c.Diverged)
+		}
+	} else if rep.Chaos != nil {
+		return fmt.Errorf("report: chaos summary on figure %q", rep.Figure)
 	}
 	for i, r := range rep.Rows {
 		if r.Figure != rep.Figure {

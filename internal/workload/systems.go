@@ -21,6 +21,7 @@ import (
 	"github.com/sharoes/sharoes/internal/migrate"
 	"github.com/sharoes/sharoes/internal/netsim"
 	"github.com/sharoes/sharoes/internal/obs"
+	"github.com/sharoes/sharoes/internal/resilience"
 	"github.com/sharoes/sharoes/internal/shard"
 	"github.com/sharoes/sharoes/internal/ssp"
 	"github.com/sharoes/sharoes/internal/stats"
@@ -157,14 +158,36 @@ type Options struct {
 	HedgeDelay time.Duration
 	// ShardFault injects a whole-backend fault into shard s0 after
 	// bootstrap: "" none, "loss" (refuses writes, drops reads — a lost
-	// shard), "slow" (every read delayed ShardFaultDelay — a straggler).
+	// shard), "slow" (every read delayed ShardFaultDelay — a straggler),
+	// "drop" (every live connection to s0 severed once, mid-run), "flap"
+	// (s0's link severed repeatedly, every ShardFlapEvery operations).
+	// The connection scenarios imply SelfHeal: a severed link would
+	// otherwise permanently kill the run's only connection to s0.
 	ShardFault string
+	// SelfHeal builds the self-healing transport stack: every per-shard
+	// connection becomes a ReconnectClient (redial with backoff after a
+	// connection-class failure, per-call deadline SelfHealTimeout) wrapped
+	// in a resilience.Store that retries reads on transient errors.
+	// Writes are not retried here — the filesystem's keys are not
+	// content-addressed — so write fault-tolerance stays with the shard
+	// quorum and the write-behind sticky-error path.
+	SelfHeal bool
 }
 
 // ShardFaultDelay is the injected per-read latency of the "slow"
 // ShardFault scenario — far above the default hedge threshold, so a
 // hedged read wins long before the straggler answers.
 const ShardFaultDelay = 20 * time.Millisecond
+
+// ShardFlapEvery is the sever period of the "flap" ShardFault scenario:
+// shard s0's link is cut on every ShardFlapEvery'th operation it serves.
+const ShardFlapEvery = 25
+
+// SelfHealTimeout is the per-call deadline the SelfHeal stack installs on
+// every dialed connection — a backstop that unsticks calls whose
+// responses will never arrive even when the transport does not surface
+// the loss as a closed connection.
+const SelfHealTimeout = time.Second
 
 // CalibratedProfile is the default benchmark link: the paper's DSL link
 // scaled 40×. The scaling compensates for ~18 years of CPU scaling between
@@ -243,6 +266,8 @@ func Build(kind SystemKind, opts Options) (*System, error) {
 	}
 	switch opts.ShardFault {
 	case "", "loss", "slow":
+	case "drop", "flap":
+		opts.SelfHeal = true
 	default:
 		return nil, fmt.Errorf("workload: unknown shard fault scenario %q", opts.ShardFault)
 	}
@@ -263,19 +288,41 @@ func Build(kind SystemKind, opts Options) (*System, error) {
 	rec := &stats.Recorder{}
 
 	// startSSP builds one SSP: backing store, fault-injection wrapper,
-	// server, simulated link, and the client-side pipelined connection.
-	startSSP := func() (*ssp.Client, error) {
+	// server, simulated link, and the client-side connection — a plain
+	// pipelined Client, or (SelfHeal) a ReconnectClient under a
+	// read-retrying resilience.Store.
+	startSSP := func() (ssp.BlobStore, error) {
 		backing := ssp.NewMemStore()
 		fault := ssp.NewFaultStore(backing)
 		server := ssp.NewServer(fault, nil)
 		lis := netsim.Listen(opts.Profile)
 		server.Observe(sys.Metrics, sys.ServerTracer)
 		lis.Observe(sys.Metrics)
+		// Connection-fault rules on this backend sever at the transport:
+		// every live conn dies, in-flight calls fail fast, and (with
+		// SelfHeal) the client redials. Armed unconditionally — the hook
+		// only fires when a conn-fault rule is armed on this FaultStore.
+		fault.OnSever(func() { lis.SeverConns() })
 		go func() {
 			if err := server.Serve(lis); err != nil {
 				fmt.Fprintf(os.Stderr, "workload: ssp serve: %v\n", err)
 			}
 		}()
+		sys.Backings = append(sys.Backings, backing)
+		sys.Faults = append(sys.Faults, fault)
+		sys.teardown = append(sys.teardown, func() error { return server.Close() })
+		if opts.SelfHeal {
+			rc := ssp.NewReconnectClient(lis.Dial, ssp.ReconnectOptions{
+				CallTimeout: SelfHealTimeout,
+				Recorder:    rec,
+				Tracer:      sys.Tracer,
+				Registry:    sys.Metrics,
+			})
+			sys.teardown = append(sys.teardown, rc.Close)
+			// Reads retry on transient classes; writes surface to the shard
+			// quorum (nil content-key predicate: FS keys are mutable).
+			return resilience.NewStore(rc, resilience.Policy{Registry: sys.Metrics}, nil), nil
+		}
 		// The tracer rides along on Dial so even the mount-path RPCs are
 		// traced (nil when Options.Trace is off — tracing disabled).
 		remote, err := ssp.Dial(lis.Dial, rec, sys.Tracer)
@@ -283,9 +330,6 @@ func Build(kind SystemKind, opts Options) (*System, error) {
 			return nil, err
 		}
 		remote.ObserveMetrics(sys.Metrics)
-		sys.Backings = append(sys.Backings, backing)
-		sys.Faults = append(sys.Faults, fault)
-		sys.teardown = append(sys.teardown, func() error { return server.Close() })
 		sys.teardown = append(sys.teardown, remote.Close)
 		return remote, nil
 	}
@@ -371,6 +415,10 @@ func Build(kind SystemKind, opts Options) (*System, error) {
 			sys.Faults[0].AddRule(ssp.FaultRule{Mode: ssp.FaultDrop})
 		case "slow":
 			sys.Faults[0].AddRule(ssp.FaultRule{Mode: ssp.FaultSlow, Delay: ShardFaultDelay})
+		case "drop":
+			sys.Faults[0].AddRule(ssp.FaultRule{Mode: ssp.FaultConnDrop})
+		case "flap":
+			sys.Faults[0].AddRule(ssp.FaultRule{Mode: ssp.FaultFlap, Every: ShardFlapEvery})
 		}
 		return nil
 	}
