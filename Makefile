@@ -9,6 +9,8 @@ FUZZ_TARGETS := \
 	./internal/wire:FuzzDecodeRequest \
 	./internal/wire:FuzzDecodeResponse \
 	./internal/wire:FuzzReadFrame \
+	./internal/wire:FuzzDecodeV2Frame \
+	./internal/wire:FuzzV1V2Differential \
 	./internal/binenc:FuzzReader \
 	./internal/binenc:FuzzRoundTrip \
 	./internal/meta:FuzzDecodeMetadata \
@@ -22,7 +24,7 @@ FUZZ_TARGETS := \
 
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet vet-self vet-json vet-baseline vet-diff race chaos-smoke fuzz-smoke bench-compare check
+.PHONY: all build test vet vet-self vet-json vet-baseline vet-diff race chaos-smoke fuzz-smoke bench-compare bench-alloc check
 
 all: build
 
@@ -99,6 +101,16 @@ bench-compare:
 	$(GO) run ./cmd/checkreport -old BENCH_postmark_serial.json -new BENCH_postmark.json -min-speedup 2.0
 	$(GO) run ./cmd/checkreport -old BENCH_createlist.json -new BENCH_createlist_shards.json -max-regress 40%
 	$(GO) run ./cmd/checkreport -old BENCH_postmark.json -new BENCH_postmark_shards.json -max-regress 40%
+	$(GO) run ./cmd/checkreport -alloc BENCH_alloc.json
+
+# bench-alloc reruns the allocation microbenchmarks and gates them
+# against the committed BENCH_alloc.json: allocs/op on the codec hot
+# paths may never grow (hard budget ≤ 2), bytes/op may drift 10%.
+# Regenerate the baseline with:
+#   go test ./internal/ssp -run TestWriteAllocReport -alloc-report
+bench-alloc:
+	$(GO) test ./internal/ssp -run TestWriteAllocReport -alloc-report -alloc-out $(CURDIR)/current-alloc.json
+	$(GO) run ./cmd/checkreport -alloc-old BENCH_alloc.json -alloc-new current-alloc.json
 
 # fuzz-smoke runs every fuzz target for a short burst — enough to catch
 # regressions on the saved corpus plus a little fresh exploration.

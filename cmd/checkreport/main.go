@@ -19,6 +19,15 @@
 // crypto are CPU-bound: pipelining overlaps network waits, not single-core
 // compute, so for those rows -min-speedup relaxes to "no regression"
 // (ratio >= 1). -max-regress applies to every row regardless.
+//
+// Allocation mode works on sharoes-alloc/v1 reports (BENCH_alloc.json,
+// written by `go test -run TestWriteAllocReport -alloc-report`). Validate
+// enforces each row's max_allocs budget; compare fails when a row's
+// allocs_per_op grows at all, or its bytes_per_op grows beyond
+// -alloc-bytes-regress.
+//
+//	checkreport -alloc BENCH_alloc.json
+//	checkreport -alloc-old BENCH_alloc.json -alloc-new current.json
 package main
 
 import (
@@ -40,15 +49,36 @@ func main() {
 	maxRegress := flag.String("max-regress", "", "fail if any matched row's effective mean is more than this much slower in -new (e.g. 10%)")
 	minSpeedup := flag.Float64("min-speedup", 0, "fail unless every matched row's effective mean improved by at least this factor in -new")
 	cryptoBound := flag.Float64("crypto-bound", 0.5, "crypto fraction of the baseline row above which -min-speedup relaxes to no-regression")
+	allocPath := flag.String("alloc", "", "validate an allocation report (sharoes-alloc/v1) and its max_allocs budgets")
+	allocOld := flag.String("alloc-old", "", "baseline allocation report for alloc compare mode")
+	allocNew := flag.String("alloc-new", "", "candidate allocation report for alloc compare mode")
+	allocBytesRegress := flag.String("alloc-bytes-regress", "10%", "fail alloc compare if a row's bytes_per_op grows more than this")
 	flag.Parse()
 
 	if (*oldPath == "") != (*newPath == "") {
 		log.Fatal("compare mode needs both -old and -new")
 	}
+	if (*allocOld == "") != (*allocNew == "") {
+		log.Fatal("alloc compare mode needs both -alloc-old and -alloc-new")
+	}
 	if *oldPath != "" {
 		if err := compare(*oldPath, *newPath, *maxRegress, *minSpeedup, *cryptoBound); err != nil {
 			log.Fatal(err)
 		}
+		return
+	}
+	if *allocOld != "" {
+		if err := compareAlloc(*allocOld, *allocNew, *allocBytesRegress); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *allocPath != "" {
+		rep, err := loadAlloc(*allocPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: ok (%s, %d rows)\n", *allocPath, rep.Schema, len(rep.Rows))
 		return
 	}
 
@@ -207,5 +237,71 @@ func compare(oldPath, newPath, maxRegress string, minSpeedup, cryptoBound float6
 			len(failures), matched, strings.Join(failures, "\n  "))
 	}
 	fmt.Printf("ok: %d rows compared, none regressed\n", matched)
+	return nil
+}
+
+func loadAlloc(path string) (workload.AllocReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return workload.AllocReport{}, err
+	}
+	rep, err := workload.ParseAllocReport(data)
+	if err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// compareAlloc gates allocation regressions: an alloc count may never
+// grow (allocations on the codec hot path are the whole point of the
+// committed baseline), and bytes/op may drift only within tolerance —
+// size-class rounding moves it a little, a forgotten pool Release moves
+// it a lot.
+func compareAlloc(oldPath, newPath, bytesRegress string) error {
+	oldRep, err := loadAlloc(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadAlloc(newPath)
+	if err != nil {
+		return err
+	}
+	tol, err := parsePct(bytesRegress)
+	if err != nil {
+		return err
+	}
+	oldRows := make(map[string]workload.AllocRow, len(oldRep.Rows))
+	for _, r := range oldRep.Rows {
+		oldRows[r.Name] = r
+	}
+	matched := 0
+	var failures []string
+	for _, nr := range newRep.Rows {
+		or, ok := oldRows[nr.Name]
+		if !ok {
+			continue
+		}
+		matched++
+		verdict := ""
+		if nr.AllocsPerOp > or.AllocsPerOp {
+			verdict = fmt.Sprintf(" ALLOC REGRESSION (%d -> %d allocs/op)", or.AllocsPerOp, nr.AllocsPerOp)
+		}
+		if float64(nr.BytesPerOp) > float64(or.BytesPerOp)*(1+tol)+1 {
+			verdict += fmt.Sprintf(" BYTES REGRESSION (%d -> %d B/op, > %s)", or.BytesPerOp, nr.BytesPerOp, bytesRegress)
+		}
+		fmt.Printf("%-32s %3d -> %3d allocs/op  %6d -> %6d B/op%s\n",
+			nr.Name, or.AllocsPerOp, nr.AllocsPerOp, or.BytesPerOp, nr.BytesPerOp, verdict)
+		if verdict != "" {
+			failures = append(failures, nr.Name+verdict)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no rows match between %s and %s", oldPath, newPath)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d of %d matched rows failed:\n  %s",
+			len(failures), matched, strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("ok: %d alloc rows compared, none regressed\n", matched)
 	return nil
 }

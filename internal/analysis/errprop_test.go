@@ -107,6 +107,35 @@ func TestResLeak(t *testing.T) {
 	}
 }
 
+// TestBufRelease pins resleak's coverage of the wire buffer arena:
+// AcquireBuf/ReadFrameBuf create Release obligations, and the decode-
+// error return — the path the arena actually leaks on in a careless
+// server loop — is caught. The good fixture proves defer, per-path
+// Release, channel handoff, and returning the buffer all discharge it,
+// and that Retain (a read of the handle) does not.
+func TestBufRelease(t *testing.T) {
+	bad := runOne(t, ResLeak{}, "bufreleasebad/internal/server")
+	if len(bad) != 3 {
+		t.Fatalf("bufreleasebad: got %d findings, want 3:\n%s", len(bad), findingsText(bad))
+	}
+	wantSubstr := []string{
+		`wire.Buf "buf" is not released on the path leaving at line 24`,
+		`wire.Buf "buf" is not released on the path leaving at line 35`,
+		`wire.Buf "buf" is not released on the path leaving at line 51`,
+	}
+	for i, f := range bad {
+		if f.Analyzer != "resleak" {
+			t.Errorf("finding %d: analyzer %q", i, f.Analyzer)
+		}
+		if !strings.Contains(f.Message, wantSubstr[i]) {
+			t.Errorf("finding %d: message %q does not mention %q", i, f.Message, wantSubstr[i])
+		}
+	}
+	if good := runOne(t, ResLeak{}, "bufreleasegood/internal/server"); len(good) != 0 {
+		t.Fatalf("bufreleasegood: unexpected findings:\n%s", findingsText(good))
+	}
+}
+
 // TestErrPropCleanTree runs the three new analyzers over every real
 // package in the module; any finding here means a regression slipped
 // into the tree (or a new finding needs a fix or a justified allow).

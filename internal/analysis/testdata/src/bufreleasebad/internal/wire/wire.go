@@ -1,0 +1,29 @@
+// Package wire is a stub of the frame-buffer arena for the resleak
+// fixtures: pooled refcounted buffers acquired by AcquireBuf or
+// ReadFrameBuf and discharged by Release.
+package wire
+
+import "io"
+
+// Buf is a stub pooled frame buffer with a Release obligation.
+type Buf struct{ data []byte }
+
+// AcquireBuf hands out a pooled buffer; the caller owes one Release.
+func AcquireBuf(n int) *Buf { return &Buf{data: make([]byte, n)} }
+
+// ReadFrameBuf reads one frame into a pooled buffer the caller must
+// Release.
+func ReadFrameBuf(r io.Reader) (*Buf, int, error) { return &Buf{}, 0, nil }
+
+// Bytes returns the buffered frame.
+func (b *Buf) Bytes() []byte { return b.data }
+
+// Retain adds a reference; every Retain owes another Release.
+func (b *Buf) Retain() {}
+
+// Release drops one reference, returning the buffer to its pool at
+// zero.
+func (b *Buf) Release() {}
+
+// Decode parses the frame; a stub that can fail.
+func Decode(b []byte) error { return nil }

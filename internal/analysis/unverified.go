@@ -33,7 +33,10 @@ func (Unverified) Doc() string {
 // results carry untrusted bytes.
 var unverifiedSources = map[string]map[string]bool{
 	"internal/ssp":    {"Get": true, "List": true, "BatchGet": true},
-	"internal/wire":   {"DecodeRequest": true, "DecodeResponse": true, "ReadFrame": true, "ReadRequest": true, "ReadResponse": true, "Call": true},
+	"internal/wire": {"DecodeRequest": true, "DecodeResponse": true, "ReadFrame": true, "ReadRequest": true, "ReadResponse": true, "Call": true,
+		// The v2 codec surface: self-describing frames, borrowed decodes
+		// that alias the (untrusted) input buffer, and pooled frame reads.
+		"DecodeV2": true, "DecodeV2Into": true, "DecodeRequestBorrowed": true, "DecodeResponseBorrowed": true, "ReadFrameBuf": true},
 	"internal/netsim": {"Read": true},
 }
 

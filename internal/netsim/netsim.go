@@ -109,6 +109,11 @@ type pipeDir struct {
 	// bytes counts payload bytes shaped through this direction; nil-safe
 	// no-op when the owning listener has no registry attached.
 	bytes *obs.Counter
+	// transmits counts write() calls — one per flushed frame or frame
+	// pack, independent of size. The wire-v2 batching work is visible
+	// here: a pipelined burst that used to cost one transmit per frame
+	// coalesces into one transmit per pack.
+	transmits *obs.Counter
 
 	// reader-side state; accessed only by the reading conn
 	rmu  sync.Mutex
@@ -129,6 +134,7 @@ func newPipeDir(latency time.Duration, bps int64) *pipeDir {
 const maxSegment = 16 * 1024
 
 func (d *pipeDir) write(b []byte) (int, error) {
+	d.transmits.Inc()
 	total := 0
 	for len(b) > 0 {
 		seg := b
@@ -292,9 +298,10 @@ type Listener struct {
 }
 
 // Observe attaches a metrics registry (nil detaches). Subsequent dials
-// count under netsim.dials, and the payload bytes shaped through their
-// pipes under netsim.bytes_up / netsim.bytes_down. Call before handing
-// the listener to concurrent dialers.
+// count under netsim.dials, the payload bytes shaped through their pipes
+// under netsim.bytes_up / netsim.bytes_down, and write calls (frames or
+// frame packs — the batching efficiency signal) under netsim.transmits.
+// Call before handing the listener to concurrent dialers.
 func (l *Listener) Observe(reg *obs.Registry) { l.reg = reg }
 
 // Listen creates a Listener whose connections are shaped by p.
@@ -316,6 +323,9 @@ func (l *Listener) Dial() (net.Conn, error) {
 		l.reg.Counter("netsim.dials").Inc()
 		client.out.bytes = l.reg.Counter("netsim.bytes_up")
 		client.in.bytes = l.reg.Counter("netsim.bytes_down")
+		transmits := l.reg.Counter("netsim.transmits")
+		client.out.transmits = transmits
+		client.in.transmits = transmits
 	}
 	client.onClose = func() {
 		l.mu.Lock()

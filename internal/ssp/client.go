@@ -95,6 +95,15 @@ type Client struct {
 	readerDone chan struct{}
 	writerDone chan struct{}
 
+	// helloSent records that Dial opened with the v2 hello probe; the
+	// reader then expects the server's first frame to settle negotiation.
+	// Written before the loops start, read only by the read loop.
+	helloSent bool
+	// v2 flips true when the server acks the hello; the writer then
+	// switches to v2 encoding with frame packing. Until the ack, requests
+	// go out in v1 format, which every server version accepts.
+	v2 atomic.Bool
+
 	// tracer and inflight are read on call paths without c.mu.
 	tracer   atomic.Pointer[obs.Tracer]
 	inflight atomic.Pointer[obs.Gauge]
@@ -113,7 +122,25 @@ const sendQueueDepth = 64
 // Dial connects to an SSP. rec may be nil. An optional tracer may be
 // passed so even the first RPCs are traced (equivalent to calling Observe
 // before any call); the old Dial-then-Observe path keeps working.
+//
+// The first frame out is the wire-v2 hello probe; a v2 server acks it
+// and the connection upgrades to the self-describing codec with frame
+// packing, while a v1 server answers it as an unknown op (by design —
+// see wire.HelloFrame) and the connection stays on v1. Negotiation never
+// blocks: requests issued before the verdict go out in v1 format, which
+// both server generations accept.
 func Dial(dial Dialer, rec *stats.Recorder, tracer ...*obs.Tracer) (*Client, error) {
+	return dialVersion(dial, rec, false, tracer...)
+}
+
+// DialLegacy connects speaking only the v1 codec: no hello probe is
+// sent and the client never upgrades. For cross-version interop tests
+// and benchmarking the old wire format.
+func DialLegacy(dial Dialer, rec *stats.Recorder, tracer ...*obs.Tracer) (*Client, error) {
+	return dialVersion(dial, rec, true, tracer...)
+}
+
+func dialVersion(dial Dialer, rec *stats.Recorder, legacy bool, tracer ...*obs.Tracer) (*Client, error) {
 	conn, err := dial()
 	if err != nil {
 		return nil, fmt.Errorf("ssp: dial: %w", err)
@@ -131,10 +158,27 @@ func Dial(dial Dialer, rec *stats.Recorder, tracer ...*obs.Tracer) (*Client, err
 	if len(tracer) > 0 {
 		c.tracer.Store(tracer[0])
 	}
+	if !legacy {
+		// The loops have not started, so the writer side is still ours.
+		c.helloSent = true
+		_, err := wire.WriteFrame(c.bw, wire.HelloFrame())
+		if err == nil {
+			err = c.bw.Flush()
+		}
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("ssp: dial: %w", err)
+		}
+	}
 	go c.writeLoop()
 	go c.readLoop()
 	return c, nil
 }
+
+// Negotiated reports whether the connection has upgraded to wire v2.
+// False means v1: the server declined (or was never offered) the hello,
+// or its verdict has not arrived yet.
+func (c *Client) Negotiated() bool { return c.v2.Load() }
 
 // Observe attaches a tracer (nil disables tracing). Each round trip then
 // emits an "rpc.<op>" span classed NETWORK, and the request frame carries
@@ -230,42 +274,30 @@ func (c *Client) Go(req *wire.Request, done chan *Call) *Call {
 
 // writeLoop drains the send queue onto the wire. Encoding and the shaped
 // write happen here, off the callers' goroutines, so a caller's latency is
-// its own round trip, not the serialization of everyone else's.
+// its own round trip, not the serialization of everyone else's. Whatever
+// has queued up while the previous write was in flight is taken as one
+// batch and flushed once — on a v2 connection as a single pack frame, so
+// a pipelined burst (or a write-behind lane flush) costs one syscall and
+// one netsim transmit event instead of one per request.
 func (c *Client) writeLoop() {
 	defer close(c.writerDone)
+	var pk wire.Pack
+	var scratch []byte
+	batch := make([]*Call, 0, wire.MaxPackFrames)
 	for {
 		select {
 		case call := <-c.sendq:
-			// Record wire order for ReqID-less reply matching. Skip calls
-			// a concurrent terminate already failed: their frames are
-			// never answered, so they must not occupy a FIFO slot. A call
-			// whose deadline expired before its frame was written is
-			// dropped the same way — nothing went out, so no reply will
-			// come and its tombstone can go now.
-			c.mu.Lock()
-			if cur, ok := c.pending[call.Req.ReqID]; !ok {
-				c.mu.Unlock()
-				continue
-			} else if cur.expired {
-				delete(c.pending, call.Req.ReqID)
-				c.mu.Unlock()
-				continue
+			batch = append(batch[:0], call)
+		greedy:
+			for len(batch) < wire.MaxPackFrames {
+				select {
+				case more := <-c.sendq:
+					batch = append(batch, more)
+				default:
+					break greedy
+				}
 			}
-			c.fifo = append(c.fifo, call.Req.ReqID)
-			c.mu.Unlock()
-			payload := call.Req.Encode()
-			n, err := wire.WriteFrame(c.bw, payload)
-			if err == nil {
-				err = c.bw.Flush()
-			}
-			if err != nil {
-				// A write failure is terminal for the connection: fail
-				// this call and everything pending, then drain the queue
-				// so blocked senders unstick.
-				c.terminate(fmt.Errorf("ssp: write: %w", err))
-				continue
-			}
-			atomic.StoreInt64(&call.bytesOut, int64(n))
+			c.writeBatch(&pk, &scratch, batch)
 		case <-c.readerDone:
 			// Reader hit a terminal error (or Close); drain stragglers
 			// that raced past the closing check until the queue is empty
@@ -274,6 +306,100 @@ func (c *Client) writeLoop() {
 			return
 		}
 	}
+}
+
+// reqApproxSize over-estimates a request's encoded size for pack
+// budgeting.
+func reqApproxSize(q *wire.Request) int {
+	n := 48 + len(q.Key) + len(q.Val) + len(q.Prefix)
+	for _, kv := range q.Items {
+		n += 16 + len(kv.Key) + len(kv.Val)
+	}
+	return n
+}
+
+// writeBatch registers wire order for the batch, serializes it, and
+// flushes once. A write failure is terminal for the connection: it fails
+// everything pending so blocked senders unstick.
+func (c *Client) writeBatch(pk *wire.Pack, scratch *[]byte, batch []*Call) {
+	// Record wire order for ReqID-less reply matching. Skip calls a
+	// concurrent terminate already failed: their frames are never
+	// answered, so they must not occupy a FIFO slot. A call whose
+	// deadline expired before its frame was written is dropped the same
+	// way — nothing went out, so no reply will come and its tombstone can
+	// go now.
+	live := batch[:0]
+	c.mu.Lock()
+	for _, call := range batch {
+		if cur, ok := c.pending[call.Req.ReqID]; !ok {
+			continue
+		} else if cur.expired {
+			delete(c.pending, call.Req.ReqID)
+			continue
+		}
+		c.fifo = append(c.fifo, call.Req.ReqID)
+		live = append(live, call)
+	}
+	c.mu.Unlock()
+	if len(live) == 0 {
+		return
+	}
+	var err error
+	if c.v2.Load() {
+		err = c.writeBatchV2(pk, scratch, live)
+	} else {
+		for _, call := range live {
+			*scratch = wire.AppendRequest((*scratch)[:0], call.Req)
+			var n int
+			if n, err = wire.WriteFrame(c.bw, *scratch); err != nil {
+				break
+			}
+			atomic.StoreInt64(&call.bytesOut, int64(n))
+		}
+	}
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	if err != nil {
+		c.terminate(fmt.Errorf("ssp: write: %w", err))
+	}
+}
+
+// writeBatchV2 coalesces the batch into pack frames bounded by
+// maxPackBytes; oversized requests (big Put blobs, bulk BatchPut) go out
+// as standalone frames so a pack can never approach wire.MaxMessageSize.
+func (c *Client) writeBatchV2(pk *wire.Pack, scratch *[]byte, live []*Call) error {
+	flushPack := func() error {
+		if pk.Len() == 0 {
+			return nil
+		}
+		_, err := wire.WriteFrame(c.bw, pk.Payload())
+		pk.Reset()
+		return err
+	}
+	pk.Reset()
+	for _, call := range live {
+		if reqApproxSize(call.Req) > maxPackBytes {
+			if err := flushPack(); err != nil {
+				return err
+			}
+			*scratch = wire.AppendRequestV2((*scratch)[:0], call.Req)
+			n, err := wire.WriteFrame(c.bw, *scratch)
+			if err != nil {
+				return err
+			}
+			atomic.StoreInt64(&call.bytesOut, int64(n))
+			continue
+		}
+		sublen := pk.AddRequest(call.Req)
+		atomic.StoreInt64(&call.bytesOut, int64(sublen)+4)
+		if pk.Size() >= maxPackBytes {
+			if err := flushPack(); err != nil {
+				return err
+			}
+		}
+	}
+	return flushPack()
 }
 
 // drainQueue fails queued sends after shutdown/termination.
@@ -292,33 +418,111 @@ func (c *Client) drainQueue() {
 // request's ReqID; a zero ReqID (an old, pre-multiplexing server) is
 // matched to the oldest in-flight call, which is correct because such a
 // server processes requests strictly in order.
+//
+// Frames land in pooled buffers (wire.ReadFrameBuf) and are decoded
+// borrowed; responses are detached — Val/item bytes copied out — just
+// before delivery, so only bytes the caller keeps are ever copied and
+// the frame buffer itself is recycled, never reallocated per frame.
 func (c *Client) readLoop() {
 	defer close(c.readerDone)
+	// While negotiating, the server's first frame settles the codec: a
+	// v2 helloAck upgrades the connection; anything v1 means an old
+	// server just answered the hello probe as an unknown op — that reply
+	// is negotiation plumbing, not a call response, and is discarded.
+	negotiating := c.helloSent
 	for {
-		payload, n, err := wire.ReadFrame(c.br)
+		buf, n, err := wire.ReadFrameBuf(c.br)
 		if err != nil {
 			c.terminate(fmt.Errorf("ssp: read: %w", err))
 			return
 		}
-		resp, err := wire.DecodeResponse(payload)
-		if err != nil {
-			c.terminate(fmt.Errorf("ssp: read: %w", err))
-			return
-		}
-		call, expired := c.take(resp.ReqID)
-		if call == nil {
-			// Unsolicited reply: nothing sane to pair it with.
-			c.terminate(fmt.Errorf("ssp: read: %w: unsolicited reply (req %d)", wire.ErrBadMessage, resp.ReqID))
-			return
-		}
-		if expired {
-			// The reply to a deadline-expired call finally arrived. The
-			// caller was already failed with ErrDeadline; discard the
-			// payload and keep reading — the connection itself is fine.
+		payload := buf.Bytes()
+		if wire.IsV2(payload) {
+			ok := c.readV2(payload, int64(n), &negotiating)
+			buf.Release()
+			if !ok {
+				return
+			}
 			continue
 		}
-		c.deliver(call, resp, int64(n), nil)
+		resp, err := wire.DecodeResponseBorrowed(payload)
+		if err != nil {
+			buf.Release()
+			c.terminate(fmt.Errorf("ssp: read: %w", err))
+			return
+		}
+		if negotiating {
+			negotiating = false
+			buf.Release()
+			continue
+		}
+		ok := c.handleResp(resp, int64(n))
+		buf.Release()
+		if !ok {
+			return
+		}
 	}
+}
+
+// readV2 processes one v2 frame. The payload is borrowed from the pooled
+// buffer the caller releases; everything delivered is detached first.
+// Returns false on a terminal protocol error.
+func (c *Client) readV2(payload []byte, n int64, negotiating *bool) bool {
+	m, err := wire.DecodeV2(payload)
+	if err != nil {
+		c.terminate(fmt.Errorf("ssp: read: %w", err))
+		return false
+	}
+	switch m.Kind {
+	case wire.KindHelloAck:
+		// Upgrade: the writer encodes v2 (and packs) from its next batch.
+		c.v2.Store(true)
+		*negotiating = false
+		return true
+	case wire.KindResponse:
+		return c.handleResp(&m.Resp, n)
+	case wire.KindPack:
+		for _, raw := range m.Pack {
+			sub, err := wire.DecodeV2(raw)
+			if err != nil {
+				c.terminate(fmt.Errorf("ssp: read: %w", err))
+				return false
+			}
+			if sub.Kind != wire.KindResponse {
+				c.terminate(fmt.Errorf("ssp: read: %w: pack element kind %d", wire.ErrBadMessage, sub.Kind))
+				return false
+			}
+			if !c.handleResp(&sub.Resp, int64(len(raw)+4)) {
+				return false
+			}
+		}
+		return true
+	default:
+		c.terminate(fmt.Errorf("ssp: read: %w: unexpected frame kind %d", wire.ErrBadMessage, m.Kind))
+		return false
+	}
+}
+
+// handleResp matches one borrowed response to its pending call and
+// delivers an owned (detached) copy. Returns false on an unsolicited
+// reply, which is terminal.
+func (c *Client) handleResp(resp *wire.Response, bytesIn int64) bool {
+	call, expired := c.take(resp.ReqID)
+	if call == nil {
+		// Unsolicited reply: nothing sane to pair it with.
+		c.terminate(fmt.Errorf("ssp: read: %w: unsolicited reply (req %d)", wire.ErrBadMessage, resp.ReqID))
+		return false
+	}
+	if expired {
+		// The reply to a deadline-expired call finally arrived. The
+		// caller was already failed with ErrDeadline; discard the
+		// payload and keep reading — the connection itself is fine.
+		return true
+	}
+	owned := *resp
+	owned.Detach()
+	c.deliver(call, &owned, bytesIn, nil)
+	return true
 }
 
 // take removes and returns the pending call for id (oldest if id is 0),

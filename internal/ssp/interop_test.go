@@ -1,0 +1,182 @@
+package ssp
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"github.com/sharoes/sharoes/internal/netsim"
+	"github.com/sharoes/sharoes/internal/wire"
+)
+
+// startV1Server runs a minimal old-generation SSP server: the pre-v2
+// codec loop — wire.Codec, serial dispatch, ReqID echo — with no
+// knowledge of magic bytes, hellos, or packs. It is the downgrade peer
+// for the v2→v1 interop tests; a hello probe reaches apply() as an
+// unknown op and is answered StatusBadRequest, exactly like a real old
+// server.
+func startV1Server(t *testing.T, store BlobStore) (*netsim.Listener, func()) {
+	t.Helper()
+	l := netsim.Listen(netsim.Unlimited)
+	inner := NewServer(store, nil)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func(conn net.Conn) {
+				defer wg.Done()
+				defer conn.Close()
+				codec := wire.NewCodec(conn)
+				for {
+					req, err := codec.ReadRequest()
+					if err != nil {
+						return
+					}
+					resp := inner.apply(req)
+					resp.ReqID = req.ReqID
+					if err := codec.SendResponse(resp); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return l, func() {
+		l.Close()
+		wg.Wait()
+	}
+}
+
+// exerciseStore drives a client through every op shape the codecs
+// serialize differently: small and multi-megabyte values (standalone
+// frames vs packed), lists, batches, and a pipelined burst.
+func exerciseStore(t *testing.T, c *Client) {
+	t.Helper()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	big := bytes.Repeat([]byte("B"), 256<<10)
+	if err := c.Put(wire.NSData, "big", big); err != nil {
+		t.Fatalf("put big: %v", err)
+	}
+	got, err := c.Get(wire.NSData, "big")
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("get big: %d bytes, %v", len(got), err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := c.Put(wire.NSMeta, fmt.Sprintf("m/%d", i), []byte{byte(i)}); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	items, err := c.List(wire.NSMeta, "m/")
+	if err != nil || len(items) != 8 {
+		t.Fatalf("list: %d items, %v", len(items), err)
+	}
+	if err := c.BatchPut([]wire.KV{
+		{NS: wire.NSMeta, Key: "m/0", Delete: true},
+		{NS: wire.NSMeta, Key: "m/9", Val: []byte("nine")},
+	}); err != nil {
+		t.Fatalf("batchput: %v", err)
+	}
+	res, err := c.BatchGet([]wire.KV{
+		{NS: wire.NSMeta, Key: "m/9"},
+		{NS: wire.NSMeta, Key: "m/0"},
+	})
+	if err != nil || len(res) != 1 || string(res[0].Val) != "nine" {
+		t.Fatalf("batchget: %+v, %v", res, err)
+	}
+	// Pipelined burst: enough concurrent calls that both directions
+	// coalesce into packs when the codec allows.
+	calls := make([]*Call, 32)
+	for i := range calls {
+		calls[i] = c.Go(&wire.Request{Op: wire.OpGet, NS: wire.NSData, Key: "big"}, nil)
+	}
+	for i, call := range calls {
+		<-call.Done
+		resp, err := call.Response()
+		if err != nil {
+			t.Fatalf("burst %d: %v", i, err)
+		}
+		if !bytes.Equal(resp.Val, big) {
+			t.Fatalf("burst %d: %d bytes", i, len(resp.Val))
+		}
+	}
+}
+
+// TestInteropV2ClientV1Server is the downgrade handshake: a current
+// client dials an old server, whose StatusBadRequest answer to the hello
+// probe must demote the connection to v1 — invisibly to callers.
+func TestInteropV2ClientV1Server(t *testing.T) {
+	l, stop := startV1Server(t, NewMemStore())
+	defer stop()
+	c, err := Dial(l.Dial, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	exerciseStore(t, c)
+	if c.Negotiated() {
+		t.Fatal("client negotiated v2 against a v1 server")
+	}
+}
+
+// TestInteropLegacyClientV2Server is the reverse direction: an old
+// client — no hello, v1 frames with trailing-uvarint TraceID/ReqID
+// extensions — against the current server, which must answer every frame
+// in v1.
+func TestInteropLegacyClientV2Server(t *testing.T) {
+	l := netsim.Listen(netsim.Unlimited)
+	defer l.Close()
+	srv := NewServer(NewMemStore(), nil)
+	go srv.Serve(l)
+	defer srv.Close()
+	c, err := DialLegacy(l.Dial, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	exerciseStore(t, c)
+	if c.Negotiated() {
+		t.Fatal("legacy client reports v2")
+	}
+	// The trailing-uvarint trace extension must still round-trip: a
+	// traced request is the old encoding's most fragile shape.
+	req := &wire.Request{Op: wire.OpGet, NS: wire.NSData, Key: "big", TraceID: 7, SpanID: 9}
+	call := c.Go(req, nil)
+	<-call.Done
+	if _, err := call.Response(); err != nil {
+		t.Fatalf("traced v1 request: %v", err)
+	}
+}
+
+// TestInteropV2BothWays is the happy path: hello → ack upgrade, then all
+// traffic — including pipelined pack frames both directions — in v2.
+func TestInteropV2BothWays(t *testing.T) {
+	l := netsim.Listen(netsim.Unlimited)
+	defer l.Close()
+	srv := NewServer(NewMemStore(), nil)
+	go srv.Serve(l)
+	defer srv.Close()
+	c, err := Dial(l.Dial, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// The ack is ordered before the ping's response, so negotiation has
+	// settled by the time any call completes.
+	if !c.Negotiated() {
+		t.Fatal("client did not negotiate v2 against a v2 server")
+	}
+	exerciseStore(t, c)
+}

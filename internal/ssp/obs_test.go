@@ -55,6 +55,9 @@ func TestServerMetricsAndJoinedSpans(t *testing.T) {
 	if got := reg.Counter("netsim.bytes_up").Value(); got <= 0 {
 		t.Error("netsim.bytes_up not counted")
 	}
+	if got := reg.Counter("netsim.transmits").Value(); got <= 0 {
+		t.Error("netsim.transmits not counted")
+	}
 
 	// Client trace: root + two rpc spans, all one trace.
 	cs := clientTracer.Spans()

@@ -1,6 +1,7 @@
 package ssp
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -15,10 +16,15 @@ import (
 	"github.com/sharoes/sharoes/internal/wire"
 )
 
-// Server serves a BlobStore over the wire protocol. One goroutine per
-// connection; the store provides its own synchronization.
+// Server serves a BlobStore over the wire protocol. One reader and one
+// response-writer goroutine per connection; the store provides its own
+// synchronization. The server speaks both wire versions, detecting each
+// incoming frame by magic: a connection that sends a v2 hello is
+// answered in v2 (with response packing) from the ack onward, anything
+// else is answered in v1.
 type Server struct {
 	store BlobStore
+	views ViewStore // non-nil when store supports borrowed reads
 	log   *log.Logger
 
 	// Observability; all nil-safe, attached via Observe.
@@ -51,8 +57,10 @@ func NewServer(store BlobStore, logger *log.Logger) *Server {
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
+	views, _ := store.(ViewStore)
 	return &Server{
 		store:     store,
+		views:     views,
 		log:       logger,
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]*connEntry),
@@ -212,51 +220,62 @@ func (s *Server) isDraining() bool {
 	return s.draining || s.closed
 }
 
+// outMsg is one unit of work for a connection's response writer: either
+// a response to serialize or the negotiation ack.
+type outMsg struct {
+	resp     *wire.Response
+	helloAck bool
+}
+
+// connState is the per-connection transport state shared by the read
+// loop, the dispatch workers, and the response writer.
+type connState struct {
+	out      chan outMsg
+	v2       atomic.Bool // peer sent a v2 hello; reply in v2 from the ack on
+	bytesOut int64       // owned by the response writer until it exits
+}
+
+// maxPackBytes caps how large a coalesced response pack grows; responses
+// estimated bigger than this go out as standalone frames so a pack can
+// never approach wire.MaxMessageSize.
+const maxPackBytes = 1 << 20
+
 func (s *Server) handle(conn net.Conn, entry *connEntry) {
 	defer s.wg.Done()
-	// wmu serializes response writes: dispatch is concurrent for
-	// multiplexed requests, but each response frame goes out whole.
-	var wmu sync.Mutex
 	var workers sync.WaitGroup
 	sem := make(chan struct{}, maxConnConcurrency)
-	codec := wire.NewCodec(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	st := &connState{out: make(chan outMsg, maxConnConcurrency)}
+	writerDone := make(chan struct{})
+	go s.respWriter(conn, st, writerDone)
+	var bytesIn int64
 	defer func() {
-		// Let in-flight workers write their responses before the conn
-		// goes down, then flush the byte counters (single-threaded again
-		// once workers are done and the read loop has exited).
+		// Let in-flight workers enqueue their responses, then close the
+		// response channel so the writer drains, flushes, and exits
+		// before the conn goes down.
 		workers.Wait()
+		close(st.out)
+		<-writerDone
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
-		s.reg.Counter("ssp.bytes_in").Add(codec.BytesIn)
-		s.reg.Counter("ssp.bytes_out").Add(codec.BytesOut)
+		s.reg.Counter("ssp.bytes_in").Add(bytesIn)
+		s.reg.Counter("ssp.bytes_out").Add(st.bytesOut)
 	}()
 	s.reg.Gauge("ssp.conns").Add(1)
 	defer s.reg.Gauge("ssp.conns").Add(-1)
 	for {
-		req, err := codec.ReadRequest()
+		buf, n, err := wire.ReadFrameBuf(br)
 		if err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !s.isDraining() {
 				s.log.Printf("ssp: read request: %v", err)
 			}
 			return
 		}
-		entry.inflight.Add(1)
-		if req.ReqID == 0 {
-			// Unmultiplexed (pre-ReqID) client: requests are processed
-			// strictly in order, one at a time, exactly as before. Wait
-			// out any multiplexed stragglers so replies stay ordered even
-			// for a peer that mixes both styles.
-			workers.Wait()
-			s.dispatch(codec, &wmu, entry, req)
-		} else {
-			sem <- struct{}{}
-			workers.Add(1)
-			go func(req *wire.Request) {
-				defer func() { workers.Done(); <-sem }()
-				s.dispatch(codec, &wmu, entry, req)
-			}(req)
+		bytesIn += int64(n)
+		if !s.readFrame(st, entry, &workers, sem, buf) {
+			return
 		}
 		if s.isDraining() {
 			return
@@ -264,9 +283,105 @@ func (s *Server) handle(conn net.Conn, entry *connEntry) {
 	}
 }
 
-// dispatch executes one request and writes its response, echoing the
+// readFrame classifies one frame — v2 hello/request/pack or v1 request —
+// and routes it to dispatch. It consumes the caller's buffer reference
+// (transferring it to dispatch workers, with one extra Retain per
+// additional pack sub-message). Returns false when the connection should
+// be torn down.
+func (s *Server) readFrame(st *connState, entry *connEntry, workers *sync.WaitGroup, sem chan struct{}, buf *wire.Buf) bool {
+	payload := buf.Bytes()
+	if !wire.IsV2(payload) {
+		req, err := wire.DecodeRequestBorrowed(payload)
+		if err != nil {
+			buf.Release()
+			if !s.isDraining() {
+				s.log.Printf("ssp: read request: %v", err)
+			}
+			return false
+		}
+		s.process(st, entry, workers, sem, req, buf)
+		return true
+	}
+	m, err := wire.DecodeV2(payload)
+	if err != nil {
+		buf.Release()
+		if !s.isDraining() {
+			s.log.Printf("ssp: read request: %v", err)
+		}
+		return false
+	}
+	switch m.Kind {
+	case wire.KindHello:
+		// Negotiation: from here on this conn speaks v2. The ack is
+		// ordered through the response channel like any reply.
+		st.v2.Store(true)
+		buf.Release()
+		st.out <- outMsg{helloAck: true}
+		return true
+	case wire.KindRequest:
+		s.process(st, entry, workers, sem, &m.Req, buf)
+		return true
+	case wire.KindPack:
+		// One buffer, one reference per sub-message: the read loop's
+		// reference goes to the first, each further sub-message Retains.
+		for i, raw := range m.Pack {
+			if i > 0 {
+				buf.Retain()
+			}
+			sub, err := wire.DecodeV2(raw)
+			if err != nil || sub.Kind != wire.KindRequest {
+				buf.Release()
+				if err == nil {
+					err = fmt.Errorf("%w: pack element kind %d", wire.ErrBadMessage, sub.Kind)
+				}
+				if !s.isDraining() {
+					s.log.Printf("ssp: read request: %v", err)
+				}
+				return false
+			}
+			s.process(st, entry, workers, sem, &sub.Req, buf)
+		}
+		if len(m.Pack) == 0 {
+			buf.Release()
+		}
+		return true
+	default:
+		// A client has no business sending responses or acks.
+		buf.Release()
+		if !s.isDraining() {
+			s.log.Printf("ssp: read request: unexpected frame kind %d", m.Kind)
+		}
+		return false
+	}
+}
+
+// process routes one decoded request into the dispatch policy: serial
+// for unmultiplexed (ReqID 0) requests, concurrent under the semaphore
+// otherwise. Consumes one reference on buf.
+func (s *Server) process(st *connState, entry *connEntry, workers *sync.WaitGroup, sem chan struct{}, req *wire.Request, buf *wire.Buf) {
+	entry.inflight.Add(1)
+	if req.ReqID == 0 {
+		// Unmultiplexed (pre-ReqID) client: requests are processed
+		// strictly in order, one at a time, exactly as before. Wait
+		// out any multiplexed stragglers so replies stay ordered even
+		// for a peer that mixes both styles.
+		workers.Wait()
+		s.dispatch(st, entry, req, buf)
+	} else {
+		sem <- struct{}{}
+		workers.Add(1)
+		go func() {
+			defer func() { workers.Done(); <-sem }()
+			s.dispatch(st, entry, req, buf)
+		}()
+	}
+}
+
+// dispatch executes one request and enqueues its response, echoing the
 // request's ReqID so pipelined clients can match out-of-order replies.
-func (s *Server) dispatch(codec *wire.Codec, wmu *sync.Mutex, entry *connEntry, req *wire.Request) {
+// The request borrows buf; apply copies whatever it stores, so the
+// reference is released as soon as apply returns.
+func (s *Server) dispatch(st *connState, entry *connEntry, req *wire.Request, buf *wire.Buf) {
 	defer entry.inflight.Add(-1)
 	s.reg.Gauge("ssp.inflight").Add(1)
 	defer s.reg.Gauge("ssp.inflight").Add(-1)
@@ -275,26 +390,141 @@ func (s *Server) dispatch(codec *wire.Codec, wmu *sync.Mutex, entry *connEntry, 
 	start := time.Now()
 	resp := s.apply(req)
 	resp.ReqID = req.ReqID
+	buf.Release()
 	s.reg.Histogram("ssp.op." + opName + ".ns").Observe(time.Since(start))
 	s.reg.Counter("ssp.op." + opName).Inc()
 	sp.End()
-	wmu.Lock()
-	err := codec.SendResponse(resp)
-	wmu.Unlock()
-	if err != nil && !s.isDraining() {
-		s.log.Printf("ssp: send response: %v", err)
+	st.out <- outMsg{resp: resp}
+}
+
+// respWriter is the per-connection response serializer: it drains the
+// response channel, greedily coalescing whatever is already queued, and
+// writes each batch with a single flush — in v2 mode as one pack frame —
+// so a burst of pipelined responses costs one syscall (and one netsim
+// transmit event) instead of one per response.
+func (s *Server) respWriter(conn net.Conn, st *connState, done chan<- struct{}) {
+	defer close(done)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	var pk wire.Pack
+	var scratch []byte
+	failed := false
+	batch := make([]outMsg, 0, wire.MaxPackFrames)
+	for m := range st.out {
+		batch = append(batch[:0], m)
+	drain:
+		for len(batch) < wire.MaxPackFrames {
+			select {
+			case m2, ok := <-st.out:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, m2)
+			default:
+				break drain
+			}
+		}
+		if failed {
+			// The conn is dead but workers may still be enqueueing;
+			// keep draining so they never block.
+			continue
+		}
+		if err := s.writeBatch(bw, st, &pk, &scratch, batch); err != nil {
+			if !s.isDraining() {
+				s.log.Printf("ssp: send response: %v", err)
+			}
+			failed = true
+		}
 	}
+}
+
+// respApproxSize over-estimates a response's encoded size for pack
+// budgeting.
+func respApproxSize(p *wire.Response) int {
+	n := 32 + len(p.Err) + len(p.Val)
+	for _, kv := range p.Items {
+		n += 16 + len(kv.Key) + len(kv.Val)
+	}
+	return n
+}
+
+// writeBatch serializes a batch of queued responses and flushes once. In
+// v2 mode consecutive small responses coalesce into pack frames bounded
+// by maxPackBytes; oversized responses and all v1 traffic go out as
+// individual frames.
+func (s *Server) writeBatch(bw *bufio.Writer, st *connState, pk *wire.Pack, scratch *[]byte, batch []outMsg) error {
+	v2 := st.v2.Load()
+	emit := func(payload []byte) error {
+		n, err := wire.WriteFrame(bw, payload)
+		st.bytesOut += int64(n)
+		return err
+	}
+	flushPack := func() error {
+		if pk.Len() == 0 {
+			return nil
+		}
+		err := emit(pk.Payload())
+		pk.Reset()
+		return err
+	}
+	pk.Reset()
+	for _, m := range batch {
+		switch {
+		case m.helloAck:
+			if err := flushPack(); err != nil {
+				return err
+			}
+			*scratch = wire.AppendHelloAck((*scratch)[:0], 2, 0)
+			if err := emit(*scratch); err != nil {
+				return err
+			}
+		case v2 && respApproxSize(m.resp) <= maxPackBytes:
+			pk.AddResponse(m.resp)
+			if pk.Size() >= maxPackBytes {
+				if err := flushPack(); err != nil {
+					return err
+				}
+			}
+		case v2:
+			if err := flushPack(); err != nil {
+				return err
+			}
+			*scratch = wire.AppendResponseV2((*scratch)[:0], m.resp)
+			if err := emit(*scratch); err != nil {
+				return err
+			}
+		default:
+			*scratch = wire.AppendResponse((*scratch)[:0], m.resp)
+			if err := emit(*scratch); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flushPack(); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
 // apply executes one request against the store. The SSP trusts nothing and
 // checks nothing beyond well-formedness: access control is cryptographic
 // and happens entirely at clients.
+//
+// Reads go through the store's ViewStore methods when available: the
+// handler only serializes the value onto the wire and drops it, so the
+// defensive copy regular Get/List/BatchGet make would be pure waste
+// (the old double-copy: store→response, response→frame).
 func (s *Server) apply(req *wire.Request) *wire.Response {
 	switch req.Op {
 	case wire.OpPing:
 		return &wire.Response{Status: wire.StatusOK}
 	case wire.OpGet:
-		val, err := s.store.Get(req.NS, req.Key)
+		var val []byte
+		var err error
+		if s.views != nil {
+			val, err = s.views.GetView(req.NS, req.Key)
+		} else {
+			val, err = s.store.Get(req.NS, req.Key)
+		}
 		if err == wire.ErrNotFound {
 			return &wire.Response{Status: wire.StatusNotFound}
 		}
@@ -313,13 +543,25 @@ func (s *Server) apply(req *wire.Request) *wire.Response {
 		}
 		return &wire.Response{Status: wire.StatusOK}
 	case wire.OpList:
-		items, err := s.store.List(req.NS, req.Prefix)
+		var items []wire.KV
+		var err error
+		if s.views != nil {
+			items, err = s.views.ListView(req.NS, req.Prefix)
+		} else {
+			items, err = s.store.List(req.NS, req.Prefix)
+		}
 		if err != nil {
 			return errResponse(err)
 		}
 		return &wire.Response{Status: wire.StatusOK, Items: items}
 	case wire.OpBatchGet:
-		items, err := s.store.BatchGet(req.Items)
+		var items []wire.KV
+		var err error
+		if s.views != nil {
+			items, err = s.views.BatchGetView(req.Items)
+		} else {
+			items, err = s.store.BatchGet(req.Items)
+		}
 		if err != nil {
 			return errResponse(err)
 		}

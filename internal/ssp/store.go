@@ -43,6 +43,24 @@ type BlobStore interface {
 	Stats() (Stats, error)
 }
 
+// ViewStore is the optional borrowed-read extension of BlobStore. The
+// *View methods return values that alias the store's internal memory
+// instead of copying — for callers (the SSP server handler) that only
+// serialize the value onto the wire and drop it.
+//
+// Aliasing contract: returned slices are stable snapshots. The store
+// must never mutate a stored value in place — updates must replace the
+// slice (MemStore's Put/BatchPut always insert fresh copies), so a view
+// taken before an overwrite keeps reading the old bytes, never a torn
+// mix. Callers must not write through a view; views stay readable
+// indefinitely, but holding large ones pins dead values in memory, so
+// serialize and drop promptly.
+type ViewStore interface {
+	GetView(ns wire.NS, key string) ([]byte, error)
+	ListView(ns wire.NS, prefix string) ([]wire.KV, error)
+	BatchGetView(items []wire.KV) ([]wire.KV, error)
+}
+
 // MemStore is the in-memory backend: a mutex-guarded hashtable, exactly the
 // paper's description of the SSP server.
 type MemStore struct {
@@ -66,6 +84,19 @@ func (s *MemStore) Get(ns wire.NS, key string) ([]byte, error) {
 	out := make([]byte, len(val))
 	copy(out, val)
 	return out, nil
+}
+
+// GetView implements ViewStore: like Get but the returned slice aliases
+// the store's copy of the value. Safe under the ViewStore contract
+// because Put/BatchPut replace value slices and never write into them.
+func (s *MemStore) GetView(ns wire.NS, key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	val, ok := s.m[ns][key]
+	if !ok {
+		return nil, wire.ErrNotFound
+	}
+	return val, nil
 }
 
 // Put implements BlobStore.
@@ -108,6 +139,21 @@ func (s *MemStore) List(ns wire.NS, prefix string) ([]wire.KV, error) {
 	return out, nil
 }
 
+// ListView implements ViewStore: like List but the item Vals alias store
+// memory under the ViewStore contract.
+func (s *MemStore) ListView(ns wire.NS, prefix string) ([]wire.KV, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []wire.KV
+	for k, v := range s.m[ns] {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, wire.KV{NS: ns, Key: k, Val: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
 // BatchGet implements BlobStore; missing keys are omitted from the result.
 func (s *MemStore) BatchGet(items []wire.KV) ([]wire.KV, error) {
 	s.mu.RLock()
@@ -118,6 +164,20 @@ func (s *MemStore) BatchGet(items []wire.KV) ([]wire.KV, error) {
 			cp := make([]byte, len(v))
 			copy(cp, v)
 			out = append(out, wire.KV{NS: it.NS, Key: it.Key, Val: cp})
+		}
+	}
+	return out, nil
+}
+
+// BatchGetView implements ViewStore: like BatchGet but the item Vals
+// alias store memory under the ViewStore contract.
+func (s *MemStore) BatchGetView(items []wire.KV) ([]wire.KV, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]wire.KV, 0, len(items))
+	for _, it := range items {
+		if v, ok := s.m[it.NS][it.Key]; ok {
+			out = append(out, wire.KV{NS: it.NS, Key: it.Key, Val: v})
 		}
 	}
 	return out, nil

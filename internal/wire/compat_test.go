@@ -56,7 +56,7 @@ func oldDecodeRequest(b []byte) (*Request, error) {
 		return nil, err
 	}
 	for i := uint64(0); i < n; i++ {
-		kv, err := decodeKV(r)
+		kv, err := decodeKV(r, true)
 		if err != nil {
 			return nil, err
 		}
@@ -200,7 +200,7 @@ func oldDecodeResponse(b []byte) (*Response, error) {
 		return nil, err
 	}
 	for i := uint64(0); i < n; i++ {
-		kv, err := decodeKV(r)
+		kv, err := decodeKV(r, true)
 		if err != nil {
 			return nil, err
 		}

@@ -192,6 +192,35 @@ func putString(buf *bytes.Buffer, s string) {
 	buf.WriteString(s)
 }
 
+// Append-style twins of the helpers above: the v2 codec and the batched
+// frame packers build messages into reusable byte slices instead of
+// throwaway bytes.Buffers, so the steady-state encode path allocates
+// nothing.
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendKV(dst []byte, kv KV) []byte {
+	dst = append(dst, byte(kv.NS))
+	dst = appendString(dst, kv.Key)
+	dst = appendBytes(dst, kv.Val)
+	if kv.Delete {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
 type reader struct {
 	b []byte
 }
@@ -243,7 +272,7 @@ func encodeKV(buf *bytes.Buffer, kv KV) {
 	}
 }
 
-func decodeKV(r *reader) (KV, error) {
+func decodeKV(r *reader, copyVals bool) (KV, error) {
 	var kv KV
 	ns, err := r.byteVal()
 	if err != nil {
@@ -258,7 +287,11 @@ func decodeKV(r *reader) (KV, error) {
 		return kv, err
 	}
 	if len(val) > 0 {
-		kv.Val = append([]byte(nil), val...)
+		if copyVals {
+			kv.Val = append([]byte(nil), val...)
+		} else {
+			kv.Val = val
+		}
 	}
 	del, err := r.byteVal()
 	if err != nil {
@@ -268,148 +301,233 @@ func decodeKV(r *reader) (KV, error) {
 	return kv, nil
 }
 
-// Encode serializes the request.
-func (q *Request) Encode() []byte {
-	var buf bytes.Buffer
-	buf.WriteByte(byte(q.Op))
-	buf.WriteByte(byte(q.NS))
-	putString(&buf, q.Key)
-	putBytes(&buf, q.Val)
-	putString(&buf, q.Prefix)
-	putUvarint(&buf, uint64(len(q.Items)))
+// appendRequestBody appends the request's common body — op, ns, key, val,
+// prefix, items — shared byte-for-byte by the v1 codec (which follows it
+// with trailing-uvarint extensions) and the v2 codec (which precedes it
+// with the self-describing header).
+func appendRequestBody(dst []byte, q *Request) []byte {
+	dst = append(dst, byte(q.Op), byte(q.NS))
+	dst = appendString(dst, q.Key)
+	dst = appendBytes(dst, q.Val)
+	dst = appendString(dst, q.Prefix)
+	dst = appendUvarint(dst, uint64(len(q.Items)))
 	for _, kv := range q.Items {
-		encodeKV(&buf, kv)
+		dst = appendKV(dst, kv)
 	}
+	return dst
+}
+
+// AppendRequest appends the v1 encoding of q to dst and returns the
+// extended slice. Encode is AppendRequest(nil, q).
+func AppendRequest(dst []byte, q *Request) []byte {
+	dst = appendRequestBody(dst, q)
 	// Optional trailing extensions (see Request.TraceID and
 	// Request.ReqID). Untraced, unmultiplexed requests stay
 	// byte-identical to the pre-extension encoding.
 	if q.TraceID != 0 {
-		putUvarint(&buf, q.TraceID)
-		putUvarint(&buf, q.SpanID)
+		dst = appendUvarint(dst, q.TraceID)
+		dst = appendUvarint(dst, q.SpanID)
 		if q.ReqID != 0 {
-			putUvarint(&buf, q.ReqID)
+			dst = appendUvarint(dst, q.ReqID)
 		}
 	} else if q.ReqID != 0 {
-		putUvarint(&buf, 0) // explicit "untraced" so the tail stays ordered
-		putUvarint(&buf, q.ReqID)
+		dst = appendUvarint(dst, 0) // explicit "untraced" so the tail stays ordered
+		dst = appendUvarint(dst, q.ReqID)
 	}
-	return buf.Bytes()
+	return dst
 }
 
-// DecodeRequest parses a request payload.
-func DecodeRequest(b []byte) (*Request, error) {
-	r := &reader{b: b}
-	var q Request
+// Encode serializes the request (v1 codec).
+func (q *Request) Encode() []byte { return AppendRequest(nil, q) }
+
+// decodeRequestBody parses the shared request body into q. With copyVals
+// false the request's Val and item Vals alias b — the borrowed decode
+// used by the pooled-buffer hot path.
+func decodeRequestBody(r *reader, q *Request, copyVals bool) error {
 	op, err := r.byteVal()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
+		return fmt.Errorf("%w: %w", ErrBadMessage, err)
 	}
 	q.Op = Op(op)
 	ns, err := r.byteVal()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
+		return fmt.Errorf("%w: %w", ErrBadMessage, err)
 	}
 	q.NS = NS(ns)
 	if q.Key, err = r.str(); err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
+		return fmt.Errorf("%w: %w", ErrBadMessage, err)
 	}
 	val, err := r.bytes()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
+		return fmt.Errorf("%w: %w", ErrBadMessage, err)
 	}
 	if len(val) > 0 {
-		q.Val = append([]byte(nil), val...)
+		if copyVals {
+			q.Val = append([]byte(nil), val...)
+		} else {
+			q.Val = val
+		}
 	}
 	if q.Prefix, err = r.str(); err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
+		return fmt.Errorf("%w: %w", ErrBadMessage, err)
 	}
 	n, err := r.uvarint()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
+		return fmt.Errorf("%w: %w", ErrBadMessage, err)
 	}
 	if n > uint64(len(r.b)) { // each KV takes at least a few bytes
-		return nil, fmt.Errorf("%w: absurd item count %d", ErrBadMessage, n)
+		return fmt.Errorf("%w: absurd item count %d", ErrBadMessage, n)
 	}
 	for i := uint64(0); i < n; i++ {
-		kv, err := decodeKV(r)
+		kv, err := decodeKV(r, copyVals)
 		if err != nil {
-			return nil, fmt.Errorf("%w: item %d: %w", ErrBadMessage, i, err)
+			return fmt.Errorf("%w: item %d: %w", ErrBadMessage, i, err)
 		}
 		q.Items = append(q.Items, kv)
 	}
-	// Trailing extensions: pre-extension frames end here; a well-formed
-	// tail carries TraceID (then SpanID when traced) then optionally
-	// ReqID. Anything else — including trailing garbage old decoders
-	// also ignored — degrades to the zero values rather than being
-	// rejected, keeping acceptance identical across codec versions.
-	if len(r.b) > 0 {
-		if tid, err := r.uvarint(); err == nil {
-			if tid != 0 {
-				if sid, err := r.uvarint(); err == nil {
-					q.TraceID = tid
-					q.SpanID = sid
-				} else {
-					return &q, nil // trace truncated: untraced, no ReqID
-				}
-			}
-			if rid, err := r.uvarint(); err == nil {
-				q.ReqID = rid
-			}
-		}
+	return nil
+}
+
+// decodeRequestTail parses the v1 trailing extensions: pre-extension
+// frames end after the body; a well-formed tail carries TraceID (then
+// SpanID when traced) then optionally ReqID. Anything else — including
+// trailing garbage old decoders also ignored — degrades to the zero
+// values rather than being rejected, keeping acceptance identical across
+// codec versions.
+func decodeRequestTail(r *reader, q *Request) {
+	if len(r.b) == 0 {
+		return
 	}
+	tid, err := r.uvarint()
+	if err != nil {
+		return
+	}
+	if tid != 0 {
+		sid, err := r.uvarint()
+		if err != nil {
+			return // trace truncated: untraced, no ReqID
+		}
+		q.TraceID = tid
+		q.SpanID = sid
+	}
+	if rid, err := r.uvarint(); err == nil {
+		q.ReqID = rid
+	}
+}
+
+// DecodeRequest parses a v1 request payload. Val and item Vals are owned
+// copies; use DecodeRequestBorrowed on the pooled hot path.
+func DecodeRequest(b []byte) (*Request, error) {
+	r := &reader{b: b}
+	var q Request
+	if err := decodeRequestBody(r, &q, true); err != nil {
+		return nil, err
+	}
+	decodeRequestTail(r, &q)
 	return &q, nil
 }
 
-// Encode serializes the response.
-func (p *Response) Encode() []byte {
-	var buf bytes.Buffer
-	buf.WriteByte(byte(p.Status))
-	putString(&buf, p.Err)
-	putBytes(&buf, p.Val)
-	putUvarint(&buf, uint64(len(p.Items)))
-	for _, kv := range p.Items {
-		encodeKV(&buf, kv)
+// DecodeRequestBorrowed parses a v1 request payload without copying: the
+// request's Val and item Vals alias b, so the request is only valid while
+// b is. Pair with Buf's Release discipline; call Detach to take
+// ownership.
+func DecodeRequestBorrowed(b []byte) (*Request, error) {
+	r := &reader{b: b}
+	var q Request
+	if err := decodeRequestBody(r, &q, false); err != nil {
+		return nil, err
 	}
+	decodeRequestTail(r, &q)
+	return &q, nil
+}
+
+// Detach copies every borrowed byte slice in q into owned memory, making
+// the request safe to retain after its backing buffer is released.
+func (q *Request) Detach() {
+	if len(q.Val) > 0 {
+		q.Val = append([]byte(nil), q.Val...)
+	}
+	for i := range q.Items {
+		if len(q.Items[i].Val) > 0 {
+			q.Items[i].Val = append([]byte(nil), q.Items[i].Val...)
+		}
+	}
+}
+
+// appendResponseBody appends the response's common body — status, err,
+// val, items — shared by the v1 and v2 codecs.
+func appendResponseBody(dst []byte, p *Response) []byte {
+	dst = append(dst, byte(p.Status))
+	dst = appendString(dst, p.Err)
+	dst = appendBytes(dst, p.Val)
+	dst = appendUvarint(dst, uint64(len(p.Items)))
+	for _, kv := range p.Items {
+		dst = appendKV(dst, kv)
+	}
+	return dst
+}
+
+// AppendResponse appends the v1 encoding of p to dst and returns the
+// extended slice. Encode is AppendResponse(nil, p).
+func AppendResponse(dst []byte, p *Response) []byte {
+	dst = appendResponseBody(dst, p)
 	// Optional multiplexing extension (see Response.ReqID). Unmultiplexed
 	// responses stay byte-identical to the pre-extension encoding.
 	if p.ReqID != 0 {
-		putUvarint(&buf, p.ReqID)
+		dst = appendUvarint(dst, p.ReqID)
 	}
-	return buf.Bytes()
+	return dst
 }
 
-// DecodeResponse parses a response payload.
-func DecodeResponse(b []byte) (*Response, error) {
-	r := &reader{b: b}
-	var p Response
+// Encode serializes the response (v1 codec).
+func (p *Response) Encode() []byte { return AppendResponse(nil, p) }
+
+// decodeResponseBody parses the shared response body into p, borrowing
+// Val and item Vals from b when copyVals is false.
+func decodeResponseBody(r *reader, p *Response, copyVals bool) error {
 	st, err := r.byteVal()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
+		return fmt.Errorf("%w: %w", ErrBadMessage, err)
 	}
 	p.Status = Status(st)
 	if p.Err, err = r.str(); err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
+		return fmt.Errorf("%w: %w", ErrBadMessage, err)
 	}
 	val, err := r.bytes()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
+		return fmt.Errorf("%w: %w", ErrBadMessage, err)
 	}
 	if len(val) > 0 {
-		p.Val = append([]byte(nil), val...)
+		if copyVals {
+			p.Val = append([]byte(nil), val...)
+		} else {
+			p.Val = val
+		}
 	}
 	n, err := r.uvarint()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
+		return fmt.Errorf("%w: %w", ErrBadMessage, err)
 	}
 	if n > uint64(len(r.b)) {
-		return nil, fmt.Errorf("%w: absurd item count %d", ErrBadMessage, n)
+		return fmt.Errorf("%w: absurd item count %d", ErrBadMessage, n)
 	}
 	for i := uint64(0); i < n; i++ {
-		kv, err := decodeKV(r)
+		kv, err := decodeKV(r, copyVals)
 		if err != nil {
-			return nil, fmt.Errorf("%w: item %d: %w", ErrBadMessage, i, err)
+			return fmt.Errorf("%w: item %d: %w", ErrBadMessage, i, err)
 		}
 		p.Items = append(p.Items, kv)
+	}
+	return nil
+}
+
+// DecodeResponse parses a v1 response payload. Val and item Vals are
+// owned copies; use DecodeResponseBorrowed on the pooled hot path.
+func DecodeResponse(b []byte) (*Response, error) {
+	r := &reader{b: b}
+	var p Response
+	if err := decodeResponseBody(r, &p, true); err != nil {
+		return nil, err
 	}
 	// Multiplexing extension: pre-extension frames end here; a
 	// well-formed tail is a single ReqID uvarint. A malformed tail
@@ -420,6 +538,36 @@ func DecodeResponse(b []byte) (*Response, error) {
 		}
 	}
 	return &p, nil
+}
+
+// DecodeResponseBorrowed parses a v1 response payload without copying:
+// Val and item Vals alias b. Pair with Buf's Release discipline; call
+// Detach to take ownership.
+func DecodeResponseBorrowed(b []byte) (*Response, error) {
+	r := &reader{b: b}
+	var p Response
+	if err := decodeResponseBody(r, &p, false); err != nil {
+		return nil, err
+	}
+	if len(r.b) > 0 {
+		if rid, err := r.uvarint(); err == nil {
+			p.ReqID = rid
+		}
+	}
+	return &p, nil
+}
+
+// Detach copies every borrowed byte slice in p into owned memory, making
+// the response safe to retain after its backing buffer is released.
+func (p *Response) Detach() {
+	if len(p.Val) > 0 {
+		p.Val = append([]byte(nil), p.Val...)
+	}
+	for i := range p.Items {
+		if len(p.Items[i].Val) > 0 {
+			p.Items[i].Val = append([]byte(nil), p.Items[i].Val...)
+		}
+	}
 }
 
 // --- framing ----------------------------------------------------------------

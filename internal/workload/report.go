@@ -74,6 +74,12 @@ type BenchReport struct {
 	// SelfHeal records whether the self-healing transport stack
 	// (reconnecting clients + classified retries + breakers) was built.
 	SelfHeal bool `json:"self_heal,omitempty"`
+	// WireVersion records which frame codec the run's clients offered: 2
+	// (the self-describing negotiated default) or 1 (`-wire v1`, the
+	// legacy trailing-uvarint codec, kept benchmarkable for comparison).
+	// Absent means 2 — reports predating the field were measured on v1,
+	// but are compared against same-flag reruns, never across codecs.
+	WireVersion int `json:"wire_version,omitempty"`
 	// Chaos carries the chaos-campaign verdict for figure "chaos" runs.
 	Chaos *ChaosSummary `json:"chaos,omitempty"`
 	Rows  []BenchRow    `json:"rows"`
@@ -242,4 +248,71 @@ func ParseReport(data []byte) (BenchReport, error) {
 		return rep, fmt.Errorf("report: %w", err)
 	}
 	return rep, ValidateReport(rep)
+}
+
+// AllocReportSchema versions the allocation-microbenchmark report
+// (BENCH_alloc.json), the codec-level hot-path gate that complements the
+// end-to-end latency reports above.
+const AllocReportSchema = "sharoes-alloc/v1"
+
+// AllocRow is one Go benchmark's allocation profile.
+type AllocRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// MaxAllocs, when > 0, is the row's hard allocation budget:
+	// validation fails if allocs_per_op exceeds it. The wire codec's
+	// encode/decode hot paths commit to ≤ 2.
+	MaxAllocs int64 `json:"max_allocs,omitempty"`
+}
+
+// AllocReport is the committed allocation baseline checked by
+// `checkreport -alloc` and regression-gated by -alloc-old/-alloc-new.
+type AllocReport struct {
+	Schema string     `json:"schema"`
+	Rows   []AllocRow `json:"rows"`
+}
+
+// ValidateAllocReport checks structure and enforces each row's MaxAllocs
+// budget.
+func ValidateAllocReport(rep AllocReport) error {
+	if rep.Schema != AllocReportSchema {
+		return fmt.Errorf("alloc report: schema %q, want %q", rep.Schema, AllocReportSchema)
+	}
+	if len(rep.Rows) == 0 {
+		return fmt.Errorf("alloc report: no rows")
+	}
+	for i, r := range rep.Rows {
+		if r.Name == "" {
+			return fmt.Errorf("alloc report row %d: empty name", i)
+		}
+		if r.NsPerOp <= 0 || r.AllocsPerOp < 0 || r.BytesPerOp < 0 || r.MaxAllocs < 0 {
+			return fmt.Errorf("alloc report row %d (%s): implausible measurements", i, r.Name)
+		}
+		if r.MaxAllocs > 0 && r.AllocsPerOp > r.MaxAllocs {
+			return fmt.Errorf("alloc report row %d (%s): %d allocs/op exceeds budget %d",
+				i, r.Name, r.AllocsPerOp, r.MaxAllocs)
+		}
+	}
+	return nil
+}
+
+// WriteAllocReport validates rep and writes it as indented JSON.
+func WriteAllocReport(w io.Writer, rep AllocReport) error {
+	if err := ValidateAllocReport(rep); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ParseAllocReport decodes and validates an allocation report.
+func ParseAllocReport(data []byte) (AllocReport, error) {
+	var rep AllocReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("alloc report: %w", err)
+	}
+	return rep, ValidateAllocReport(rep)
 }
